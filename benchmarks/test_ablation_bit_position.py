@@ -1,0 +1,86 @@
+"""Ablation: fault outcome vs flipped bit position.
+
+The paper's Discussion notes that pattern effectiveness depends on
+program input — e.g. "the more bits are shifted, the more random
+bit-flip errors can be tolerated."  The underlying observable is the
+bit-position profile of fault outcomes, which also explains the
+Fig. 5 split between input faults that mask and input faults that
+crash:
+
+* IS integer keys: bits below the bucket shift are dropped (success);
+  mid bits change bucket placement (tolerated by the counting sort);
+  high bits produce out-of-range addresses (crash).
+* CG system matrix: low mantissa bits perturb zeta below the
+  verification threshold (success); exponent-region bits distort the
+  spectrum and fail verification.  (The x[] iterate would show SR=1.0
+  across all strata — it is rebuilt from z every outer iteration, a
+  wholesale Data-Overwriting mask — so the persistent matrix is the
+  informative target.)
+"""
+
+from conftest import scaled, tracker
+
+from repro.faults.campaign import run_campaign
+from repro.vm.fault import FaultPlan
+
+N_PER_STRATUM = 24
+STRATA = {"low": (0, 1, 2, 3), "mid": (8, 10, 12, 14),
+          "high": (30, 34, 38, 42)}
+FLOAT_STRATA = {"low-mantissa": (0, 8, 16, 24), "high-mantissa": (40, 46, 50),
+                "exponent": (54, 57, 60)}
+
+
+def _strata_campaign(ft, array_name, trigger, strata):
+    arr = ft.program.module.arrays[array_name]
+    n_cells = 1
+    for d in arr.shape:
+        n_cells *= d
+    out = {}
+    per = scaled(N_PER_STRATUM)
+    for label, bits in strata.items():
+        plans = [FaultPlan(trigger=trigger, mode="loc",
+                           bit=bits[i % len(bits)],
+                           loc=arr.base + (i * 7919) % n_cells)
+                 for i in range(per)]
+        out[label] = run_campaign(ft.program, plans, workers=ft.workers,
+                                  max_instr=ft.faulty_budget,
+                                  label=f"{ft.program.name}/{array_name}/"
+                                        f"{label}")
+    return out
+
+
+def _collect():
+    is_ft = tracker("is")
+    is_loop = next(i for i in is_ft.instances() if i.region.kind == "loop")
+    is_res = _strata_campaign(is_ft, "key_array", is_loop.start, STRATA)
+
+    cg_ft = tracker("cg")
+    cg_loop = max((i for i in cg_ft.instances() if i.index == 0
+                   and i.region.kind == "loop"), key=lambda i: i.n_instr)
+    cg_res = _strata_campaign(cg_ft, "aa", cg_loop.start, FLOAT_STRATA)
+    return is_res, cg_res
+
+
+def test_ablation_bit_position(benchmark):
+    is_res, cg_res = benchmark.pedantic(_collect, rounds=1, iterations=1)
+
+    print()
+    print("Ablation: outcome vs bit position")
+    print("IS key_array:")
+    for label, res in is_res.items():
+        print(f"  {label:13s} SR={res.success_rate:.3f} "
+              f"(sdc={res.failed} crash={res.crashed})")
+    print("CG aa[] (binary64):")
+    for label, res in cg_res.items():
+        print(f"  {label:13s} SR={res.success_rate:.3f} "
+              f"(sdc={res.failed} crash={res.crashed})")
+
+    # IS: shifted-out bits are the safest; high bits crash the most
+    assert is_res["low"].success_rate >= is_res["high"].success_rate
+    assert is_res["low"].success_rate >= 0.9
+    assert is_res["high"].crashed >= is_res["low"].crashed
+
+    # CG: low-mantissa flips decay below the verification threshold far
+    # more often than exponent flips
+    assert cg_res["low-mantissa"].success_rate \
+        > cg_res["exponent"].success_rate

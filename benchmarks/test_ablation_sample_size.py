@@ -1,0 +1,67 @@
+"""Ablation: Leveugle campaign sizing vs estimate error (Section IV-C).
+
+The paper sizes every campaign with the statistical model of Leveugle
+et al. (95 % confidence / 3 % margin; 99 %/1 % for the use cases).
+This bench measures what those sizes buy: the success-rate estimate of
+a fixed region target at n in {16, 32, 64, 128} against a large-n
+reference, showing the ~1/sqrt(n) error contraction, plus the sizing
+table itself.
+"""
+
+import math
+
+from conftest import tracker
+
+from repro.faults.statistics import sample_size
+
+SIZES = (16, 32, 64, 128)
+REFERENCE_N = 384
+TARGET = ("kmeans", "k_f", "internal")
+
+
+def _collect():
+    app, region, kind = TARGET
+    ft = tracker(app)
+    ref = ft.region_campaign(region, kind, n=REFERENCE_N)
+    points = []
+    for n in SIZES:
+        # independent draws per size: the size doubles as seed offset
+        inst = ft.instance_of(region, 0)
+        plans = ft.make_plans(inst, kind, n, seed_offset=n)
+        from repro.faults.campaign import run_campaign
+        res = run_campaign(ft.program, plans, workers=ft.workers,
+                           max_instr=ft.faulty_budget,
+                           label=f"{app}/{region}/{kind}@{n}")
+        points.append((n, res.success_rate))
+    return ref.success_rate, points
+
+
+def test_ablation_sample_size(benchmark):
+    ref_sr, points = benchmark.pedantic(_collect, rounds=1, iterations=1)
+
+    print()
+    print(f"Ablation: sampling error vs campaign size "
+          f"(reference SR={ref_sr:.3f} at n={REFERENCE_N})")
+    print("     n | SR est | abs err | binomial sigma")
+    errs = {}
+    for n, sr in points:
+        sigma = math.sqrt(max(ref_sr * (1 - ref_sr), 1e-9) / n)
+        errs[n] = abs(sr - ref_sr)
+        print(f"{n:6d} | {sr:.3f}  | {errs[n]:.3f}   | {sigma:.3f}")
+
+    print("\nLeveugle sizing (population 10^6):")
+    for conf, margin in ((0.95, 0.03), (0.95, 0.01), (0.99, 0.01)):
+        print(f"  {conf:.2f}/{margin:.2f} -> "
+              f"{sample_size(10**6, conf, margin)} injections")
+
+    # every estimate within 4 binomial sigmas of the reference
+    for n, sr in points:
+        sigma = math.sqrt(max(ref_sr * (1 - ref_sr), 1e-9) / n
+                          + max(ref_sr * (1 - ref_sr), 1e-9) / REFERENCE_N)
+        assert abs(sr - ref_sr) <= 4 * sigma + 1e-9, (n, sr, ref_sr)
+
+    # the sizing model is monotone: tighter margins / higher confidence
+    # demand more injections, and population growth saturates
+    assert sample_size(10**6, 0.95, 0.01) > sample_size(10**6, 0.95, 0.03)
+    assert sample_size(10**6, 0.99, 0.01) > sample_size(10**6, 0.95, 0.01)
+    assert sample_size(10**7, 0.95, 0.03) <= sample_size(10**6, 0.95, 0.03) * 1.01 + 1

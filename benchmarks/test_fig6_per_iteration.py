@@ -1,0 +1,66 @@
+"""Fig. 6: success rate per main-loop iteration.
+
+The paper treats the main loop as one code region and injects into
+each iteration separately.  Shape checks: iterative solvers (CG, MG)
+show broadly similar success rates across iterations; success rates are
+proportions; later iterations of the solvers never collapse to zero
+(the solvers keep self-correcting).
+"""
+
+from conftest import scaled, tracker
+
+from repro.util.tables import format_table
+
+APPS = ("cg", "mg", "kmeans", "is", "lulesh")
+N_PER_ITER = 16
+MAX_ITERS = 5
+
+
+def _campaigns():
+    results = {}
+    for app in APPS:
+        ft = tracker(app)
+        iters = ft.main_loop_iterations()[:MAX_ITERS]
+        per_iter = []
+        for i, _inst in enumerate(iters):
+            per_iter.append({
+                kind: ft.iteration_campaign(i, kind, n=scaled(N_PER_ITER))
+                for kind in ("internal", "input")})
+        results[app] = per_iter
+    return results
+
+
+def test_fig6(benchmark):
+    results = benchmark.pedantic(_campaigns, rounds=1, iterations=1)
+
+    rows = []
+    for app, per_iter in results.items():
+        for i, kinds in enumerate(per_iter):
+            rows.append([app, i + 1,
+                         kinds["internal"].success_rate,
+                         kinds["input"].success_rate])
+    print()
+    print(format_table(["App", "Iter", "SR internal", "SR input"], rows,
+                       title="Fig. 6: success rate per main-loop iteration"))
+    from repro.viz import grouped_bars
+    for app, per_iter in results.items():
+        print(grouped_bars(
+            [f"iter {i + 1}" for i in range(len(per_iter))],
+            {"internal": [k["internal"].success_rate for k in per_iter],
+             "input": [k["input"].success_rate for k in per_iter]},
+            title=f"-- {app} --", vmax=1.0))
+
+    for app, per_iter in results.items():
+        assert per_iter, f"{app}: no main-loop iterations found"
+        for kinds in per_iter:
+            for k in ("internal", "input"):
+                assert 0.0 <= kinds[k].success_rate <= 1.0
+
+    # iterative solvers: internal-fault success never collapses to zero
+    # in any iteration (self-correcting solvers, paper's CG/MG finding)
+    for app in ("cg", "mg"):
+        srs = [k["internal"].success_rate for k in results[app]]
+        assert min(srs) > 0.0
+        # and the spread stays moderate ("success rates of different
+        # iterations can be similar")
+        assert max(srs) - min(srs) <= 0.75

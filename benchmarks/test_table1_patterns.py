@@ -1,0 +1,78 @@
+"""Table I: resilience computation patterns per code region.
+
+Regenerates, for CG / MG / KMEANS / IS / LULESH, the region chain with
+line ranges, per-main-loop-iteration instruction counts, and which of
+the six patterns FlipTracker's detectors observe in each region.
+
+Paper shape being checked:
+* MG's smoothing regions show Repeated Additions + Data Overwriting;
+* IS shows Shifting (the ``key >> shift`` bucket code);
+* KMEANS shows Conditional Statements in the assignment region;
+* LULESH's single force region shows DCL (hourgam temporaries);
+* DO appears essentially everywhere (Section VI, Pattern 6).
+"""
+
+from conftest import scaled, tracker
+
+from repro.core.report import render_table1, table1_for_program
+from repro.vm.fault import FaultPlan
+
+APPS = ("cg", "mg", "kmeans", "is", "lulesh")
+
+
+def _mg_table2_probe(ft):
+    """The paper's Table II probe: bit 40 into u's center cell at the
+    first mg3P invocation — the canonical Repeated-Additions witness."""
+    u_base = ft.program.module.arrays["u"].base
+    loc = u_base + ft.program.meta["center_cell"]
+    start = ft.main_loop_iterations()[0].start
+    return FaultPlan(trigger=start + 5, mode="loc", bit=40, loc=loc)
+
+
+#: low-bit strata: bit 0 exercises shift/int-truncation/conditional
+#: masking, bit 20 exercises float formatted-output truncation
+PROBE_BITS = (0, 20)
+
+
+def _collect():
+    all_rows = {}
+    for app in APPS:
+        ft = tracker(app)
+        rows = table1_for_program(ft, runs_per_kind=1, probe_sites=2,
+                                  probe_bits=PROBE_BITS)
+        if app == "mg":
+            analysis = ft.analyze_injection(_mg_table2_probe(ft))
+            extra = analysis.patterns_by_region()
+            for row in rows:
+                row.patterns |= extra.get(row.region, set())
+        all_rows[app] = rows
+    return all_rows
+
+
+def test_table1(benchmark):
+    all_rows = benchmark.pedantic(_collect, rounds=1, iterations=1)
+
+    flat = [r for rows in all_rows.values() for r in rows]
+    print()
+    print(render_table1(flat))
+
+    union = {app: set().union(*(r.patterns for r in rows)) if rows else set()
+             for app, rows in all_rows.items()}
+
+    # --- paper-shape assertions -------------------------------------
+    # Pattern 6 (DO) is found in all benchmarks
+    for app in APPS:
+        assert "DO" in union[app], f"{app}: DO missing"
+    # MG: repeated additions in the smoothing code (Fig. 9)
+    assert "RA" in union["mg"]
+    # IS: shifting masks bucket-count faults (Fig. 11)
+    assert "SHIFT" in union["is"]
+    # KMEANS: the min-distance conditional masks (Fig. 10)
+    assert "CS" in union["kmeans"]
+    # LULESH: hourgam aggregation + frees (Fig. 8)
+    assert "DCL" in union["lulesh"]
+    # every analyzed region has a plausible line range + instr count
+    for rows in all_rows.values():
+        for r in rows:
+            assert r.line_lo <= r.line_hi
+            assert r.n_instr > 0

@@ -1,0 +1,86 @@
+"""Table IV: Use Case 2 — predicting application resilience.
+
+Regenerates the full Table IV pipeline over all ten programs:
+
+1. pattern rates per program (the feature columns);
+2. measured success rate via whole-program injection campaigns;
+3. experiment 1: fit on all ten, report R-squared (paper: 96.4 %);
+4. experiment 2: leave-one-out prediction + relative error per program
+   (paper: 14.3 % mean excluding DC; DC is the outlier at 64.6 %);
+5. standardized-coefficient feature importance (paper: Truncation,
+   Conditional Statement, Shifting dominate).
+
+Shape checks: high R-squared on the full fit; bounded mean LOO error;
+every feature importance is finite and non-negative.
+"""
+
+from conftest import scaled, tracker
+
+from repro.apps import ALL_APPS
+from repro.patterns.rates import PatternRates
+from repro.prediction import (PredictionRow, feature_importance, fit_all,
+                              loo_validate, mean_error_excluding)
+from repro.util.tables import format_table
+
+N_MEASURE = 250  # whole-program injections per app (paper: 95%/3%, ~1067)
+# at n=50 the per-app binomial noise (sigma ~0.07) is two thirds of the
+# cross-app SR variance and the fit mostly explains sampling noise;
+# n=250 brings sigma to ~0.03, below the app-to-app signal
+
+
+def _collect():
+    rows = []
+    for app in ALL_APPS:
+        ft = tracker(app)
+        rates = ft.pattern_rates()
+        measured = ft.whole_program_campaign(
+            "internal", n=scaled(N_MEASURE)).success_rate
+        rows.append(PredictionRow(app, rates, measured))
+    _model, r2 = fit_all(rows)
+    loo_validate(rows)
+    importance = feature_importance(rows)
+    return rows, r2, importance
+
+
+def test_table4(benchmark):
+    rows, r2, importance = benchmark.pedantic(_collect, rounds=1,
+                                              iterations=1)
+
+    print()
+    print(format_table(
+        ["Benchmark", "Cond", "Shift", "Trunc", "DeadLoc", "RepAdd",
+         "Overwr", "Measured SR", "Predicted SR", "Err rate"],
+        [[r.benchmark] + [f"{v:.4f}" for v in r.rates.vector()]
+         + [r.measured_sr, r.predicted_sr, f"{r.error_rate * 100:.1f}%"]
+         for r in rows],
+        title="Table IV: pattern rates and resilience prediction"))
+    print(f"\nExperiment 1 R-squared (fit on all ten): {r2:.3f}  "
+          f"(paper: 0.964)")
+    print(f"Mean LOO error excluding dc: "
+          f"{mean_error_excluding(rows, 'dc') * 100:.1f}%  (paper: 14.3%)")
+    print("Standardized coefficients:",
+          {k: round(v, 3) for k, v in importance.items()})
+
+    # --- shape assertions -------------------------------------------
+    assert len(rows) == 10
+    for r in rows:
+        assert 0.0 <= r.measured_sr <= 1.0
+        assert 0.0 <= r.predicted_sr <= 1.0
+        assert r.rates.overwrite > 0.3  # overwriting dominates everywhere
+    # experiment 1: the model explains a substantial share of the
+    # variance (paper: 96.4% — an in-sample fit of 7 parameters on 10
+    # well-spread points; our measured SRs span a narrower band, see
+    # EXPERIMENTS.md)
+    assert r2 > 0.45
+    # experiment 2: predictions are informative on average
+    assert mean_error_excluding(rows, "dc") < 0.6
+    # feature importances well-defined
+    assert set(importance) == set(PatternRates.FIELDS)
+    assert all(v >= 0.0 for v in importance.values())
+    # DC has the most distinctive feature profile of the ten programs
+    # (paper: the model fails worst on it, 64.6% LOO error) — its
+    # leave-one-out prediction is among the worst
+    dc = next(r for r in rows if r.benchmark == "dc")
+    assert dc.rates.shift == max(r.rates.shift for r in rows)
+    worst3 = sorted(rows, key=lambda r: -r.error_rate)[:3]
+    assert any(r.benchmark == "dc" for r in worst3)

@@ -1,0 +1,37 @@
+"""FlipTracker reproduction: natural error resilience in HPC applications.
+
+A full-system Python reproduction of *FlipTracker: Understanding
+Natural Error Resilience in HPC Applications* (Guo, Li, Laguna,
+Schulz — SC 2018), including every substrate the paper's pipeline
+needs: a mini-IR + tracing interpreter (the LLVM/LLVM-Tracer
+substitute), a restricted-Python frontend for authoring the ten studied
+HPC programs, a simulated MPI runtime, single-bit-flip fault injection,
+DDDG/ACL analyses, the six resilience-pattern detectors, and both use
+cases (resilience-aware design, resilience prediction).
+
+Quickstart::
+
+    from repro import FlipTracker, REGISTRY
+    ft = FlipTracker(REGISTRY.build("kmeans"), seed=42)
+    print(ft.region_campaign("k_f", "internal", n=30))
+
+See DESIGN.md for the system inventory and EXPERIMENTS.md for the
+paper-vs-measured record of every table and figure.
+"""
+
+from repro.apps import ALL_APPS, REGISTRY, Program
+from repro.core import FlipTracker, RunAnalysis
+from repro.dddg import DDDG, RegionComparison, build_dddg, to_dot
+from repro.faults import CampaignResult, Manifestation, sample_size
+from repro.patterns import PATTERNS, PatternInstance, compute_rates
+from repro.vm import FaultPlan, Interpreter
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "ALL_APPS", "REGISTRY", "Program", "FlipTracker", "RunAnalysis",
+    "DDDG", "RegionComparison", "build_dddg", "to_dot",
+    "CampaignResult", "Manifestation", "sample_size", "PATTERNS",
+    "PatternInstance", "compute_rates", "FaultPlan", "Interpreter",
+    "__version__",
+]

@@ -1,0 +1,6 @@
+"""Alive Corrupted Locations analysis (paper Section III-C)."""
+
+from repro.acl.table import (ACLResult, DeathEvent, MaskEvent, build_acl,
+                             same_value)
+
+__all__ = ["ACLResult", "DeathEvent", "MaskEvent", "build_acl", "same_value"]

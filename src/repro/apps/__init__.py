@@ -1,0 +1,15 @@
+"""The ten studied HPC applications, authored in MiniHPC.
+
+Importing this package populates :data:`REGISTRY` with all builders,
+which is how campaign worker processes reconstruct programs from
+``(name, params)``.
+"""
+
+from repro.apps.base import REGISTRY, AppRegistry, Program
+
+# register every app builder
+from repro.apps import bt, cg, dc, ft, is_, kmeans, lu, lulesh, mg, sp  # noqa: F401,E501
+
+ALL_APPS = tuple(REGISTRY.names())
+
+__all__ = ["REGISTRY", "AppRegistry", "Program", "ALL_APPS"]

@@ -1,0 +1,113 @@
+"""BT — NPB block-tridiagonal ADI solver (Class-S analog, scalarized).
+
+Alternating-direction implicit sweeps on an 8^3 grid: per main-loop
+iteration, a tridiagonal system (-1, 4, -1) is solved along every x,
+y and z line with the Thomas algorithm, using stack-allocated
+``cp``/``dp`` elimination buffers (freed per line — like BT's
+per-line work arrays).  The solved increments relax ``uu`` toward the
+rhs.
+
+Verification: solution L2 norm against a baked reference.
+"""
+
+from __future__ import annotations
+
+from repro.apps.base import REGISTRY, Program
+from repro.apps.npbrand import add_randlc
+from repro.frontend import ProgramBuilder
+from repro.ir.types import F64, I64
+from repro.vm.interp import Interpreter
+
+NB = 8
+NTOT = NB ** 3
+ITMAX = 3
+DIAG = 4.0
+VERIFY_EPS = 1e-10
+
+
+def bt_init() -> None:
+    for i in range(NTOT):
+        rhs[i] = randlc() - 0.5
+        uu[i] = 0.0
+
+
+def solve_line(base: int, stride: int) -> None:
+    """Thomas algorithm on one grid line: (-1, DIAG, -1) system."""
+    cp = alloca_f64(8)
+    dp = alloca_f64(8)
+    cp[0] = -1.0 / DIAG
+    dp[0] = (rhs[base] + uu[base]) / DIAG
+    for i in range(1, NB):
+        c = base + i * stride
+        m = 1.0 / (DIAG + cp[i - 1])
+        cp[i] = -1.0 * m
+        dp[i] = ((rhs[c] + uu[c]) + dp[i - 1]) * m
+    uu[base + (NB - 1) * stride] = dp[NB - 1]
+    for i in range(NB - 2, -1, -1):
+        c = base + i * stride
+        uu[c] = dp[i] - cp[i] * uu[c + stride]
+
+
+def adi_sweep() -> None:
+    """x, y, z ADI sweeps; the bt code regions."""
+    for a in range(NB):         # x lines
+        for b in range(NB):
+            solve_line((a * NB + b) * NB, 1)
+    for a in range(NB):         # y lines
+        for b in range(NB):
+            solve_line(a * NB * NB + b, NB)
+    for a in range(NB):         # z lines
+        for b in range(NB):
+            solve_line(a * NB + b, NB * NB)
+
+
+def bt_norm() -> float:
+    s = 0.0
+    for i in range(NTOT):
+        s = s + uu[i] * uu[i]
+    return sqrt(s / float(NTOT))
+
+
+def bt_main() -> None:
+    bt_init()
+    rn = 0.0
+    for it in range(ITMAX):     # the main loop
+        adi_sweep()
+        rn = bt_norm()
+        emit("iter norm %15.8e", rn)
+    unorm = rn
+    err = fabs(rn - ref_norm)
+    if err < VERIFY_EPS:
+        verified = 1
+    emit("norm %12.6e", rn)
+
+
+_REF: dict[str, float] = {}
+
+
+def _build_module(ref: float):
+    pb = ProgramBuilder("bt")
+    add_randlc(pb)
+    pb.array("uu", F64, (NTOT,))
+    pb.array("rhs", F64, (NTOT,))
+    pb.scalar("verified", I64, 0)
+    pb.scalar("unorm", F64, 0.0)
+    pb.scalar("ref_norm", F64, ref)
+    pb.func(bt_init)
+    pb.func(solve_line)
+    pb.func(adi_sweep)
+    pb.func(bt_norm)
+    pb.func(bt_main, name="main")
+    return pb.build(entry="main")
+
+
+@REGISTRY.register("bt")
+def build() -> Program:
+    if "n" not in _REF:
+        probe = Interpreter(_build_module(0.0))
+        probe.run()
+        _REF["n"] = probe.read_scalar("unorm")
+    module = _build_module(_REF["n"])
+    return Program(name="bt", module=module, region_fn="adi_sweep",
+                   region_prefix="bt", main_fn="main",
+                   meta={"ref_norm": _REF["n"]})

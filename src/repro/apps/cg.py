@@ -1,0 +1,297 @@
+"""CG — NPB conjugate gradient (Class-S analog).
+
+Same algorithmic skeleton as NPB CG: ``makea`` assembles a sparse
+random SPD matrix from ``sprnvc``-generated sparse vectors (kept dense
+at this scale), ``conj_grad`` runs CGITMAX conjugate-gradient sweeps
+per outer iteration, and the outer loop power-iterates the shifted
+eigenvalue estimate ``zeta``.  Verification compares ``zeta`` against a
+baked fault-free reference, NPB-style.
+
+The region chain of ``conj_grad`` mirrors the paper's ``cg_a``-``cg_e``
+(Table I): scalar setup, the init loop, the rho reduction, the big CG
+iteration loop (where the paper finds Repeated Additions on ``p[]``),
+and the final-residual loops.
+
+Use Case 1 (Section VII-A) is reproduced through source *variants*:
+
+* ``dcl_overwrite`` — ``sprnvc`` works on stack temporaries ``v_tmp``/
+  ``iv_tmp`` copied back at the end (paper Fig. 12(b));
+* ``truncation``   — the ``p . q`` dot product truncates ten selected
+  iterations through 32-bit integers (paper Fig. 13(b));
+* ``all``          — both.
+"""
+
+from __future__ import annotations
+
+from repro.apps.base import REGISTRY, Program
+from repro.apps.npbrand import add_randlc
+from repro.frontend import ProgramBuilder
+from repro.ir.types import F64, I64
+from repro.vm.interp import Interpreter
+
+NA = 32          # rows/cols (Class S uses 1400; scaled to interpreter speed)
+NONZER = 4       # nonzeros per generated sparse vector
+NITER = 3        # outer (power) iterations
+CGITMAX = 5      # CG sweeps per outer iteration
+NN1 = 32         # power of two >= NA, for icnvrt
+SHIFT_LAMBDA = 12.0
+VERIFY_EPS = 1e-8
+TRUNC_LO = 10    # Use Case 1: truncated dot-product iterations [LO, HI]
+TRUNC_HI = 19
+#: Q16 fixed-point scale for the truncation transform.  The paper casts
+#: p[j]/q[j] straight to 32-bit ints (Fig. 13(b)) because NPB CG's
+#: values carry several integer bits; at our scaled problem size the
+#: vectors are sub-1 in magnitude, so a raw cast would sit on the 0/1
+#: integer boundary and *amplify* faults instead of truncating them.
+#: Scaling by 2^16 before the cast keeps the transform's semantics —
+#: a reduced-precision (16 fractional bits) multiply — in our regime.
+Q16 = 65536.0
+Q16_INV = 1.0 / (65536.0 * 65536.0)
+
+
+# --------------------------------------------------------------------------
+# MiniHPC kernels.  These compile to IR; they are never executed as Python.
+# --------------------------------------------------------------------------
+
+def icnvrt(xx: float, ipwr2: int) -> int:
+    return int(ipwr2 * xx)
+
+
+def sprnvc_plain(n: int, nz: int, nn1: int) -> None:
+    """Generate nz distinct (value, index) pairs into globals v[]/iv[].
+
+    This is the paper's Fig. 12(a) code, kept structurally identical:
+    rejection sampling with the was_gen duplicate scan.
+    """
+    nzv = 0
+    while nzv < nz:
+        vecelt = randlc()
+        vecloc = randlc()
+        i = icnvrt(vecloc, nn1) + 1
+        if i > n:
+            continue
+        was_gen = 0
+        for ii in range(nzv):
+            if iv[ii] == i:
+                was_gen = 1
+                break
+        if was_gen == 1:
+            continue
+        v[nzv] = vecelt
+        iv[nzv] = i
+        nzv = nzv + 1
+
+
+def sprnvc_dcl(n: int, nz: int, nn1: int) -> None:
+    """Fig. 12(b): sprnvc on stack temporaries with copy-back.
+
+    Errors striking v/iv during the routine are overwritten by the
+    copy-back (Data Overwriting); errors striking the temporaries die
+    when the frame is freed (Dead Corrupted Locations).
+    """
+    v_tmp = alloca_f64(5)       # NONZER + 1
+    iv_tmp = alloca_i64(5)
+    for i in range(5):
+        v_tmp[i] = v[i]
+        iv_tmp[i] = iv[i]
+    nzv = 0
+    while nzv < nz:
+        vecelt = randlc()
+        vecloc = randlc()
+        i = icnvrt(vecloc, nn1) + 1
+        if i > n:
+            continue
+        was_gen = 0
+        for ii in range(nzv):
+            if iv_tmp[ii] == i:
+                was_gen = 1
+                break
+        if was_gen == 1:
+            continue
+        v_tmp[nzv] = vecelt
+        iv_tmp[nzv] = i
+        nzv = nzv + 1
+    for i in range(5):
+        v[i] = v_tmp[i]
+        iv[i] = iv_tmp[i]
+
+
+def makea(n: int) -> None:
+    """Assemble the SPD system matrix from sparse outer products."""
+    for iouter in range(n):
+        sprnvc(n, NONZER, NN1)
+        scale = 0.5 / float(NONZER)
+        for k1 in range(NONZER):
+            ik = iv[k1] - 1
+            for k2 in range(NONZER):
+                jk = iv[k2] - 1
+                aa[ik, jk] = aa[ik, jk] + scale * v[k1] * v[k2]
+    for i in range(n):
+        aa[i, i] = aa[i, i] + float(NONZER) + 0.1
+
+
+def conj_grad_plain() -> float:
+    """One conj_grad call: CGITMAX CG sweeps solving A z = x."""
+    rho = 0.0
+    dfinal = 0.0
+    for j in range(NA):                 # region: init vectors
+        q[j] = 0.0
+        z[j] = 0.0
+        r[j] = x[j]
+        p[j] = x[j]
+    for j in range(NA):                 # region: rho = r.r
+        rho = rho + r[j] * r[j]
+    for cgit in range(CGITMAX):         # region: the CG sweep loop
+        d = 0.0
+        for j in range(NA):
+            s = 0.0
+            for k in range(NA):
+                s = s + aa[j, k] * p[k]
+            q[j] = s
+        for j in range(NA):
+            d = d + p[j] * q[j]
+        alpha = rho / d
+        rho0 = rho
+        rho = 0.0
+        for j in range(NA):
+            z[j] = z[j] + alpha * p[j]
+            r[j] = r[j] - alpha * q[j]
+            rho = rho + r[j] * r[j]
+        beta = rho / rho0
+        for j in range(NA):
+            p[j] = r[j] + beta * p[j]
+    for j in range(NA):                 # region: final residual matvec
+        s = 0.0
+        for k in range(NA):
+            s = s + aa[j, k] * z[k]
+        q[j] = s
+    for j in range(NA):                 # region: ||x - A z||
+        dfinal = dfinal + (x[j] - q[j]) * (x[j] - q[j])
+    return sqrt(dfinal)
+
+
+def conj_grad_trunc() -> float:
+    """Fig. 13(b): the p.q loop truncates iterations [TRUNC_LO, TRUNC_HI]
+    through 32-bit integer multiplication (the Truncation pattern)."""
+    rho = 0.0
+    dfinal = 0.0
+    for j in range(NA):
+        q[j] = 0.0
+        z[j] = 0.0
+        r[j] = x[j]
+        p[j] = x[j]
+    for j in range(NA):
+        rho = rho + r[j] * r[j]
+    for cgit in range(CGITMAX):
+        d = 0.0
+        for j in range(NA):
+            s = 0.0
+            for k in range(NA):
+                s = s + aa[j, k] * p[k]
+            q[j] = s
+        for j in range(NA):
+            if j <= TRUNC_HI and j >= TRUNC_LO:
+                tmp = i32(p[j] * Q16)
+                tmp1 = i32(q[j] * Q16)
+                d = d + float(tmp) * float(tmp1) * Q16_INV
+            else:
+                d = d + p[j] * q[j]
+        alpha = rho / d
+        rho0 = rho
+        rho = 0.0
+        for j in range(NA):
+            z[j] = z[j] + alpha * p[j]
+            r[j] = r[j] - alpha * q[j]
+            rho = rho + r[j] * r[j]
+        beta = rho / rho0
+        for j in range(NA):
+            p[j] = r[j] + beta * p[j]
+    for j in range(NA):
+        s = 0.0
+        for k in range(NA):
+            s = s + aa[j, k] * z[k]
+        q[j] = s
+    for j in range(NA):
+        dfinal = dfinal + (x[j] - q[j]) * (x[j] - q[j])
+    return sqrt(dfinal)
+
+
+def cg_main() -> None:
+    makea(NA)
+    for i in range(NA):
+        x[i] = 1.0
+    zeta_l = 0.0
+    for it in range(NITER):             # the main loop
+        rnorm_l = conj_grad()
+        norm1 = 0.0
+        for j in range(NA):
+            norm1 = norm1 + x[j] * z[j]
+        zeta_l = SHIFT_LAMBDA + 1.0 / norm1
+        norm2 = 0.0
+        for j in range(NA):
+            norm2 = norm2 + z[j] * z[j]
+        norm2 = sqrt(norm2)
+        for j in range(NA):
+            x[j] = z[j] / norm2
+        emit("iter %15.8e %15.8e", zeta_l, rnorm_l)
+        rnorm = rnorm_l
+    zeta = zeta_l
+    err = fabs(zeta_l - ref_zeta)
+    if err < VERIFY_EPS:                # NPB-style verification phase
+        verified = 1
+    emit("zeta = %12.6e", zeta_l)
+
+
+# --------------------------------------------------------------------------
+# builder
+# --------------------------------------------------------------------------
+
+_REF_CACHE: dict[str, float] = {}
+
+VARIANTS = ("baseline", "dcl_overwrite", "truncation", "all")
+
+
+def _build_module(variant: str, ref_zeta: float):
+    pb = ProgramBuilder(f"cg-{variant}")
+    add_randlc(pb)
+    pb.array("aa", F64, (NA, NA))
+    pb.array("x", F64, (NA,))
+    pb.array("z", F64, (NA,))
+    pb.array("p", F64, (NA,))
+    pb.array("q", F64, (NA,))
+    pb.array("r", F64, (NA,))
+    pb.array("v", F64, (NONZER + 1,))
+    pb.array("iv", I64, (NONZER + 1,))
+    pb.scalar("verified", I64, 0)
+    pb.scalar("zeta", F64, 0.0)
+    pb.scalar("rnorm", F64, 0.0)
+    pb.scalar("ref_zeta", F64, ref_zeta)
+    pb.func(icnvrt)
+    if variant in ("dcl_overwrite", "all"):
+        pb.func(sprnvc_dcl, name="sprnvc")
+    else:
+        pb.func(sprnvc_plain, name="sprnvc")
+    pb.func(makea)
+    if variant in ("truncation", "all"):
+        pb.func(conj_grad_trunc, name="conj_grad")
+    else:
+        pb.func(conj_grad_plain, name="conj_grad")
+    pb.func(cg_main, name="main")
+    return pb.build(entry="main")
+
+
+@REGISTRY.register("cg")
+def build(variant: str = "baseline") -> Program:
+    """Build CG; ``variant`` selects Use Case 1's transformed sources."""
+    if variant not in VARIANTS:
+        raise ValueError(f"variant must be one of {VARIANTS}")
+    if variant not in _REF_CACHE:
+        probe = Interpreter(_build_module(variant, 0.0))
+        probe.run()
+        _REF_CACHE[variant] = probe.read_scalar("zeta")
+    module = _build_module(variant, _REF_CACHE[variant])
+    return Program(name="cg", module=module, region_fn="conj_grad",
+                   region_prefix="cg", main_fn="main",
+                   params={"variant": variant},
+                   meta={"ref_zeta": _REF_CACHE[variant], "na": NA,
+                         "variant": variant})

@@ -1,0 +1,168 @@
+"""FT — NPB 3D FFT PDE solver (Class-S analog).
+
+Solves the model PDE spectrally on a 4^3 complex grid: forward 3D FFT
+once, then per main-loop iteration an ``evolve`` multiply by the
+exponential decay factors and a checksum over strided elements, exactly
+the NPB FT program shape.  The 1D FFTs are iterative radix-2
+(bit-reversal + butterfly stages) over each grid line.
+
+Complex data lives in split re/im arrays.  Verification compares the
+final checksum (real and imaginary parts) against baked references.
+"""
+
+from __future__ import annotations
+
+from repro.apps.base import REGISTRY, Program
+from repro.apps.npbrand import add_randlc
+from repro.frontend import ProgramBuilder
+from repro.ir.types import F64, I64
+from repro.vm.interp import Interpreter
+
+N4 = 4                 # grid edge (power of two)
+LOGN = 2
+NTOTAL = N4 ** 3
+NITER = 4
+ALPHA = 1.0e-3
+PI = 3.141592653589793
+VERIFY_EPS = 1e-9
+
+
+# --------------------------------------------------------------------------
+# MiniHPC kernels
+# --------------------------------------------------------------------------
+
+def compute_initial() -> None:
+    for i in range(NTOTAL):
+        u_re[i] = randlc()
+        u_im[i] = randlc()
+
+
+def compute_exponents() -> None:
+    """Decay factors exp(-4 alpha pi^2 |k|^2) with wrapped frequencies."""
+    for k3 in range(N4):
+        f3 = float(k3 if k3 <= N4 // 2 else k3 - N4)
+        for k2 in range(N4):
+            f2 = float(k2 if k2 <= N4 // 2 else k2 - N4)
+            for k1 in range(N4):
+                f1 = float(k1 if k1 <= N4 // 2 else k1 - N4)
+                ksq = f1 * f1 + f2 * f2 + f3 * f3
+                ex[(k3 * N4 + k2) * N4 + k1] = \
+                    exp(-4.0 * ALPHA * PI * PI * ksq)
+
+
+def fft_line(base: int, stride: int, sign: float) -> None:
+    """Iterative radix-2 FFT of one length-N4 grid line (in place)."""
+    wk_re = alloca_f64(4)
+    wk_im = alloca_f64(4)
+    # gather with bit reversal (N4 = 4: reversal swaps 1 <-> 2)
+    for i in range(N4):
+        rev = (i >> 1) | ((i & 1) << 1)
+        wk_re[rev] = u_re[base + i * stride]
+        wk_im[rev] = u_im[base + i * stride]
+    span = 1
+    for stage in range(LOGN):
+        for start in range(0, N4, span * 2):
+            for j in range(span):
+                ang = sign * PI * float(j) / float(span)
+                wr = cos(ang)
+                wi = sin(ang)
+                lo = start + j
+                hi = lo + span
+                tr = wr * wk_re[hi] - wi * wk_im[hi]
+                ti = wr * wk_im[hi] + wi * wk_re[hi]
+                wk_re[hi] = wk_re[lo] - tr
+                wk_im[hi] = wk_im[lo] - ti
+                wk_re[lo] = wk_re[lo] + tr
+                wk_im[lo] = wk_im[lo] + ti
+        span = span * 2
+    for i in range(N4):
+        u_re[base + i * stride] = wk_re[i]
+        u_im[base + i * stride] = wk_im[i]
+
+
+def fft3d(sign: float) -> None:
+    """FFT along each of the three dimensions."""
+    for a in range(N4):
+        for b in range(N4):
+            fft_line((a * N4 + b) * N4, 1, sign)
+    for a in range(N4):
+        for b in range(N4):
+            fft_line(a * N4 * N4 + b, N4, sign)
+    for a in range(N4):
+        for b in range(N4):
+            fft_line(a * N4 + b, N4 * N4, sign)
+
+
+def evolve() -> None:
+    for i in range(NTOTAL):
+        u_re[i] = u_re[i] * ex[i]
+        u_im[i] = u_im[i] * ex[i]
+
+
+def checksum() -> None:
+    """NPB-style strided checksum accumulated into globals."""
+    sre = 0.0
+    sim = 0.0
+    for j in range(1, 9):
+        q = (j * 5) % NTOTAL
+        sre = sre + u_re[q]
+        sim = sim + u_im[q]
+    chk_re = sre
+    chk_im = sim
+    emit("checksum %15.8e %15.8e", sre, sim)
+
+
+def ft_main() -> None:
+    compute_initial()
+    compute_exponents()
+    fft3d(1.0)
+    for it in range(NITER):     # the main loop
+        evolve()
+        checksum()
+    err_r = fabs(chk_re - ref_re)
+    err_i = fabs(chk_im - ref_im)
+    if err_r < VERIFY_EPS:
+        if err_i < VERIFY_EPS:
+            verified = 1
+    emit("final %12.6e %12.6e", chk_re, chk_im)
+
+
+# --------------------------------------------------------------------------
+# builder
+# --------------------------------------------------------------------------
+
+_REF: dict[str, tuple[float, float]] = {}
+
+
+def _build_module(ref_r: float, ref_i: float):
+    pb = ProgramBuilder("ft")
+    add_randlc(pb)
+    pb.array("u_re", F64, (NTOTAL,))
+    pb.array("u_im", F64, (NTOTAL,))
+    pb.array("ex", F64, (NTOTAL,))
+    pb.scalar("verified", I64, 0)
+    pb.scalar("chk_re", F64, 0.0)
+    pb.scalar("chk_im", F64, 0.0)
+    pb.scalar("ref_re", F64, ref_r)
+    pb.scalar("ref_im", F64, ref_i)
+    pb.func(compute_initial)
+    pb.func(compute_exponents)
+    pb.func(fft_line)
+    pb.func(fft3d)
+    pb.func(evolve)
+    pb.func(checksum)
+    pb.func(ft_main, name="main")
+    return pb.build(entry="main")
+
+
+@REGISTRY.register("ft")
+def build() -> Program:
+    if "c" not in _REF:
+        probe = Interpreter(_build_module(0.0, 0.0))
+        probe.run()
+        _REF["c"] = (probe.read_scalar("chk_re"), probe.read_scalar("chk_im"))
+    ref_r, ref_i = _REF["c"]
+    module = _build_module(ref_r, ref_i)
+    return Program(name="ft", module=module, region_fn="fft3d",
+                   region_prefix="ft", main_fn="main",
+                   meta={"ref": _REF["c"], "n": N4})

@@ -1,0 +1,120 @@
+"""IS — NPB integer sort (Class-S analog).
+
+Bucket-assisted counting sort of randlc-generated integer keys, the
+benchmark where the paper finds the **Shifting** pattern (Fig. 11):
+``bucket_size[key >> shift] += 1`` — faults in the low bits of a key
+land in the same bucket and are masked by the shift.
+
+The main loop reranks the same key array ITER times (as NPB's ``rank``
+does); a final ``full_verify`` phase checks sortedness and key-sum
+preservation — self-contained verification, no baked reference.
+"""
+
+from __future__ import annotations
+
+from repro.apps.base import REGISTRY, Program
+from repro.apps.npbrand import add_randlc
+from repro.frontend import ProgramBuilder
+from repro.ir.types import F64, I64
+
+N_KEYS = 512
+MAX_KEY = 512          # keys in [0, MAX_KEY)
+LOG2_MAXKEY = 9
+N_BUCKETS = 16
+BUCKET_SHIFT = 5       # LOG2_MAXKEY - log2(N_BUCKETS)
+ITER = 4
+
+
+# --------------------------------------------------------------------------
+# MiniHPC kernels
+# --------------------------------------------------------------------------
+
+def create_seq() -> None:
+    """NPB create_seq: keys from four averaged randlc draws."""
+    for i in range(N_KEYS):
+        x = randlc() + randlc() + randlc() + randlc()
+        key_array[i] = int(x * 0.25 * float(MAX_KEY))
+
+
+def rank() -> None:
+    """One ranking pass; its loop nests are the code regions is_a..."""
+    # is region A: bucket counting — the Fig. 11 shifting code
+    for b in range(N_BUCKETS):
+        bucket_size[b] = 0
+    for i in range(N_KEYS):
+        bucket_size[key_array[i] >> BUCKET_SHIFT] = \
+            bucket_size[key_array[i] >> BUCKET_SHIFT] + 1
+
+    # is region B: bucket prefix sums
+    bucket_ptrs[0] = 0
+    for b in range(1, N_BUCKETS):
+        bucket_ptrs[b] = bucket_ptrs[b - 1] + bucket_size[b - 1]
+
+    # is region C: scatter keys bucket-major, then count key values
+    for i in range(N_KEYS):
+        b = key_array[i] >> BUCKET_SHIFT
+        key_buff[bucket_ptrs[b]] = key_array[i]
+        bucket_ptrs[b] = bucket_ptrs[b] + 1
+    for k in range(MAX_KEY):
+        key_count[k] = 0
+    for i in range(N_KEYS):
+        key_count[key_buff[i]] = key_count[key_buff[i]] + 1
+
+    # is region D: rebuild the fully sorted sequence from the counts
+    idx = 0
+    for k in range(MAX_KEY):
+        cnt = key_count[k]
+        for c in range(cnt):
+            key_sorted[idx] = k
+            idx = idx + 1
+
+
+def full_verify() -> None:
+    """Sortedness + key-sum preservation (NPB's full verification)."""
+    inversions = 0
+    for i in range(1, N_KEYS):
+        if key_sorted[i - 1] > key_sorted[i]:
+            inversions = inversions + 1
+    sum_in = 0
+    sum_out = 0
+    for i in range(N_KEYS):
+        sum_in = sum_in + key_array[i]
+        sum_out = sum_out + key_sorted[i]
+    if inversions == 0:
+        if sum_in == sum_out:
+            verified = 1
+    emit("inversions %d", inversions)
+
+
+def is_main() -> None:
+    create_seq()
+    for it in range(ITER):      # the main loop
+        rank()
+    full_verify()
+    emit("done %d", ITER)
+
+
+# --------------------------------------------------------------------------
+# builder
+# --------------------------------------------------------------------------
+
+@REGISTRY.register("is")
+def build() -> Program:
+    pb = ProgramBuilder("is")
+    add_randlc(pb)
+    pb.array("key_array", I64, (N_KEYS,))
+    pb.array("key_buff", I64, (N_KEYS,))
+    pb.array("key_sorted", I64, (N_KEYS,))
+    pb.array("key_count", I64, (MAX_KEY,))
+    pb.array("bucket_size", I64, (N_BUCKETS,))
+    pb.array("bucket_ptrs", I64, (N_BUCKETS,))
+    pb.scalar("verified", I64, 0)
+    pb.func(create_seq)
+    pb.func(rank)
+    pb.func(full_verify)
+    pb.func(is_main, name="main")
+    module = pb.build(entry="main")
+    return Program(name="is", module=module, region_fn="rank",
+                   region_prefix="is", main_fn="main",
+                   meta={"n_keys": N_KEYS, "max_key": MAX_KEY,
+                         "bucket_shift": BUCKET_SHIFT})

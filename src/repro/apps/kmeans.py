@@ -1,0 +1,136 @@
+"""KMEANS — Rodinia k-means clustering (100.txt analog).
+
+Lloyd iterations over randlc-generated points with planted clusters.
+The min-distance search is the paper's Fig. 10 code — the
+**Conditional Statement** pattern: a corrupted feature value usually
+still loses/wins the ``dist < min_dist`` comparison the same way, so
+the assignment (and the final output) is unchanged.
+
+Each Lloyd step accumulates into stack-allocated ``new_centers`` /
+``new_count`` buffers that are freed on return — the paper's ``k_d``
+observation ("many memory free operations free temporal corrupted
+locations").
+
+Verification is self-contained: every point must be assigned to its
+nearest final center.
+"""
+
+from __future__ import annotations
+
+from repro.apps.base import REGISTRY, Program
+from repro.apps.npbrand import add_randlc
+from repro.frontend import ProgramBuilder
+from repro.ir.types import F64, I64
+
+NPOINTS = 96
+NFEATURES = 2
+K = 4
+MAX_LOOPS = 8
+BIG = 1e30
+
+
+# --------------------------------------------------------------------------
+# MiniHPC kernels
+# --------------------------------------------------------------------------
+
+def gen_points() -> None:
+    """Planted clusters: K well-separated centers plus randlc noise."""
+    for i in range(NPOINTS):
+        c = i % K
+        cx = 2.0 + 6.0 * float(c % 2)
+        cy = 2.0 + 6.0 * float(c // 2)
+        features[i, 0] = cx + randlc() - 0.5
+        features[i, 1] = cy + randlc() - 0.5
+
+
+def euclid_dist_2(pt: int, cl: int) -> float:
+    s = 0.0
+    for f in range(NFEATURES):
+        d = features[pt, f] - clusters[cl, f]
+        s = s + d * d
+    return s
+
+
+def find_nearest(pt: int) -> int:
+    """Fig. 10: min-distance center search (Conditional Statements)."""
+    index = 0
+    min_dist = BIG
+    for i in range(K):
+        dist = euclid_dist_2(pt, i)
+        if dist < min_dist:
+            min_dist = dist
+            index = i
+    return index
+
+
+def kmeans_step() -> float:
+    """One Lloyd iteration; top-level loops are regions k_a..k_d."""
+    new_centers = alloca_f64(8)     # K * NFEATURES temporaries (freed on
+    new_count = alloca_i64(4)       # return -- the k_d free pattern)
+    for i in range(K * NFEATURES):          # k region A: zero sums
+        new_centers[i] = 0.0
+    for i in range(K):                      # k region B: zero counts
+        new_count[i] = 0
+    delta = 0.0
+    for i in range(NPOINTS):                # k region C: assignment (big)
+        index = find_nearest(i)
+        if membership[i] != index:
+            delta = delta + 1.0
+        membership[i] = index
+        for f in range(NFEATURES):
+            new_centers[index * NFEATURES + f] = \
+                new_centers[index * NFEATURES + f] + features[i, f]
+        new_count[index] = new_count[index] + 1
+    for c in range(K):                      # k region D: center update
+        for f in range(NFEATURES):
+            if new_count[c] > 0:
+                clusters[c, f] = new_centers[c * NFEATURES + f] \
+                    / float(new_count[c])
+    return delta
+
+
+def kmeans_main() -> None:
+    gen_points()
+    for c in range(K):                  # initial centers = first K points
+        for f in range(NFEATURES):
+            clusters[c, f] = features[c, f]
+    for i in range(NPOINTS):
+        membership[i] = -1
+    lp = 0
+    delta = 1.0
+    while delta > 0.0 and lp < MAX_LOOPS:   # the main loop
+        delta = kmeans_step()
+        lp = lp + 1
+    # verification: every point sits with its nearest center
+    bad = 0
+    for i in range(NPOINTS):
+        if find_nearest(i) != membership[i]:
+            bad = bad + 1
+    if bad == 0:
+        verified = 1
+    for c in range(K):
+        emit("center %12.6e %12.6e", clusters[c, 0], clusters[c, 1])
+    emit("loops %d bad %d", lp, bad)
+
+
+# --------------------------------------------------------------------------
+# builder
+# --------------------------------------------------------------------------
+
+@REGISTRY.register("kmeans")
+def build() -> Program:
+    pb = ProgramBuilder("kmeans")
+    add_randlc(pb)
+    pb.array("features", F64, (NPOINTS, NFEATURES))
+    pb.array("clusters", F64, (K, NFEATURES))
+    pb.array("membership", I64, (NPOINTS,))
+    pb.scalar("verified", I64, 0)
+    pb.func(gen_points)
+    pb.func(euclid_dist_2)
+    pb.func(find_nearest)
+    pb.func(kmeans_step)
+    pb.func(kmeans_main, name="main")
+    module = pb.build(entry="main")
+    return Program(name="kmeans", module=module, region_fn="kmeans_step",
+                   region_prefix="k", main_fn="main",
+                   meta={"npoints": NPOINTS, "k": K})

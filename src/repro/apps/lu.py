@@ -1,0 +1,109 @@
+"""LU — NPB SSOR solver (Class-S analog).
+
+Symmetric successive over-relaxation on an 8^3 grid with the 7-point
+operator ``A = 6I - (face sum)``: a forward (lower-triangular) sweep in
+lexicographic order followed by a backward (upper-triangular) sweep,
+per main-loop iteration — the structural core of NPB LU's
+``blts``/``buts`` pair, scalarized.
+
+Verification: final residual L2 norm against a baked reference.
+"""
+
+from __future__ import annotations
+
+from repro.apps.base import REGISTRY, Program
+from repro.apps.npbrand import add_randlc
+from repro.frontend import ProgramBuilder
+from repro.ir.types import F64, I64
+from repro.vm.interp import Interpreter
+
+N8 = 8
+NTOT = N8 ** 3
+ITMAX = 4
+OMEGA = 1.2
+VERIFY_EPS = 1e-10
+
+
+def lu_init() -> None:
+    for i in range(NTOT):
+        rhs[i] = randlc() - 0.5
+        uu[i] = 0.0
+
+
+def ssor_sweep() -> None:
+    """One SSOR iteration; its loop nests are the lu code regions."""
+    # forward sweep (blts analog)
+    for i3 in range(1, N8 - 1):
+        for i2 in range(1, N8 - 1):
+            for i1 in range(1, N8 - 1):
+                c = (i3 * N8 + i2) * N8 + i1
+                res = rhs[c] - 6.0 * uu[c] + uu[c - 1] + uu[c + 1] \
+                    + uu[c - N8] + uu[c + N8] + uu[c - N8 * N8] \
+                    + uu[c + N8 * N8]
+                uu[c] = uu[c] + OMEGA * res / 6.0
+    # backward sweep (buts analog)
+    for i3 in range(N8 - 2, 0, -1):
+        for i2 in range(N8 - 2, 0, -1):
+            for i1 in range(N8 - 2, 0, -1):
+                c = (i3 * N8 + i2) * N8 + i1
+                res = rhs[c] - 6.0 * uu[c] + uu[c - 1] + uu[c + 1] \
+                    + uu[c - N8] + uu[c + N8] + uu[c - N8 * N8] \
+                    + uu[c + N8 * N8]
+                uu[c] = uu[c] + OMEGA * res / 6.0
+
+
+def l2_residual() -> float:
+    s = 0.0
+    for i3 in range(1, N8 - 1):
+        for i2 in range(1, N8 - 1):
+            for i1 in range(1, N8 - 1):
+                c = (i3 * N8 + i2) * N8 + i1
+                res = rhs[c] - 6.0 * uu[c] + uu[c - 1] + uu[c + 1] \
+                    + uu[c - N8] + uu[c + N8] + uu[c - N8 * N8] \
+                    + uu[c + N8 * N8]
+                s = s + res * res
+    return sqrt(s / float(NTOT))
+
+
+def lu_main() -> None:
+    lu_init()
+    rn = 0.0
+    for it in range(ITMAX):     # the main loop
+        ssor_sweep()
+        rn = l2_residual()
+        emit("iter res %15.8e", rn)
+    resid = rn
+    err = fabs(rn - ref_resid)
+    if err < VERIFY_EPS:
+        verified = 1
+    emit("residual %12.6e", rn)
+
+
+_REF: dict[str, float] = {}
+
+
+def _build_module(ref: float):
+    pb = ProgramBuilder("lu")
+    add_randlc(pb)
+    pb.array("uu", F64, (NTOT,))
+    pb.array("rhs", F64, (NTOT,))
+    pb.scalar("verified", I64, 0)
+    pb.scalar("resid", F64, 0.0)
+    pb.scalar("ref_resid", F64, ref)
+    pb.func(lu_init)
+    pb.func(ssor_sweep)
+    pb.func(l2_residual)
+    pb.func(lu_main, name="main")
+    return pb.build(entry="main")
+
+
+@REGISTRY.register("lu")
+def build() -> Program:
+    if "r" not in _REF:
+        probe = Interpreter(_build_module(0.0))
+        probe.run()
+        _REF["r"] = probe.read_scalar("resid")
+    module = _build_module(_REF["r"])
+    return Program(name="lu", module=module, region_fn="ssor_sweep",
+                   region_prefix="lu", main_fn="main",
+                   meta={"ref_resid": _REF["r"]})

@@ -1,0 +1,278 @@
+"""LULESH — simplified Lagrangian shock hydrodynamics proxy (``-s 3``).
+
+A 3x3x3-element / 4^3-node staggered-grid explicit hydro step with the
+code shapes the paper analyzes in LULESH:
+
+* **hourglass force** (``CalcFBHourglassForce``): per element, the
+  ``hourgam`` matrix and ``hxx[4]`` temporaries are stack-allocated,
+  aggregated into nodal forces, and freed — the paper's Fig. 8 **Dead
+  Corrupted Locations** site (its Fig. 7 ACL drop inside
+  ``LagrangeNodal``);
+* an EOS with conditionals (artificial viscosity only under
+  compression);
+* a Courant-style dt reduction with ``fmin`` conditionals;
+* ``%12.6e`` formatted energy output — the **Truncation** sink the
+  paper reports in LULESH's final phase.
+
+The physics is a deliberately simplified (but stable and deterministic)
+gamma-law hydro: a corner energy deposit drives expansion for NSTEPS
+fixed-dt steps.  Verification compares total final energy against a
+baked fault-free reference.
+"""
+
+from __future__ import annotations
+
+from repro.apps.base import REGISTRY, Program
+from repro.frontend import ProgramBuilder
+from repro.ir.types import F64, I64
+from repro.vm.interp import Interpreter
+
+NEL_EDGE = 3
+NEL = NEL_EDGE ** 3            # 27 elements
+NNODE_EDGE = 4
+NNODE = NNODE_EDGE ** 3        # 64 nodes
+NSTEPS = 5
+DT = 2.0e-3
+DX = 1.0 / NEL_EDGE
+V0 = DX ** 3                   # initial element volume
+GAMMA_EOS = 1.4
+E0 = 10.0                      # corner energy deposit
+QCOEF = 0.6                    # artificial-viscosity coefficient
+HGCOEF = 0.03                  # hourglass-control coefficient
+VERIFY_EPS = 1e-9
+
+# the four hourglass base vectors (LULESH's Gamma[4][8])
+GAMMA_TAB = [
+    1.0, 1.0, -1.0, -1.0, -1.0, -1.0, 1.0, 1.0,
+    1.0, -1.0, -1.0, 1.0, -1.0, 1.0, 1.0, -1.0,
+    1.0, -1.0, 1.0, -1.0, 1.0, -1.0, 1.0, -1.0,
+    -1.0, 1.0, -1.0, 1.0, 1.0, -1.0, 1.0, -1.0,
+]
+
+# outward direction signs of a hexahedron's 8 local nodes (x, y, z)
+SIGN_TAB = [
+    -1.0, -1.0, -1.0,
+    1.0, -1.0, -1.0,
+    1.0, 1.0, -1.0,
+    -1.0, 1.0, -1.0,
+    -1.0, -1.0, 1.0,
+    1.0, -1.0, 1.0,
+    1.0, 1.0, 1.0,
+    -1.0, 1.0, 1.0,
+]
+
+
+# --------------------------------------------------------------------------
+# MiniHPC kernels
+# --------------------------------------------------------------------------
+
+def build_mesh() -> None:
+    """Regular unit-cube mesh + connectivity + initial state."""
+    for k in range(NNODE_EDGE):
+        for j in range(NNODE_EDGE):
+            for i in range(NNODE_EDGE):
+                n = (k * NNODE_EDGE + j) * NNODE_EDGE + i
+                xn[n] = DX * float(i)
+                yn[n] = DX * float(j)
+                zn[n] = DX * float(k)
+                nodal_mass[n] = 0.0
+    for ek in range(NEL_EDGE):
+        for ej in range(NEL_EDGE):
+            for ei in range(NEL_EDGE):
+                el = (ek * NEL_EDGE + ej) * NEL_EDGE + ei
+                n0 = (ek * NNODE_EDGE + ej) * NNODE_EDGE + ei
+                elem_node[el, 0] = n0
+                elem_node[el, 1] = n0 + 1
+                elem_node[el, 2] = n0 + NNODE_EDGE + 1
+                elem_node[el, 3] = n0 + NNODE_EDGE
+                elem_node[el, 4] = n0 + NNODE_EDGE * NNODE_EDGE
+                elem_node[el, 5] = n0 + NNODE_EDGE * NNODE_EDGE + 1
+                elem_node[el, 6] = n0 + NNODE_EDGE * NNODE_EDGE \
+                    + NNODE_EDGE + 1
+                elem_node[el, 7] = n0 + NNODE_EDGE * NNODE_EDGE + NNODE_EDGE
+                e_el[el] = 0.0
+                p_el[el] = 0.0
+                q_el[el] = 0.0
+                v_el[el] = V0
+                for ln in range(8):
+                    nd = elem_node[el, ln]
+                    nodal_mass[nd] = nodal_mass[nd] + V0 * 0.125
+    e_el[0] = E0            # the Sedov-style origin energy deposit
+
+
+def calc_volume_force() -> None:
+    """Nodal forces from pressure + hourglass control (region l_a).
+
+    One top-level loop over elements — the single code region the
+    paper reports for LULESH.  ``hourgam``/``hxx``/... are the Fig. 8
+    stack temporaries.
+    """
+    for el in range(NEL):
+        hourgam = alloca_f64(32)
+        hxx = alloca_f64(4)
+        hyy = alloca_f64(4)
+        hzz = alloca_f64(4)
+        volscale = v_el[el] / V0
+        for m in range(4):
+            for n in range(8):
+                hourgam[n * 4 + m] = gamma_tab[m, n] * volscale
+        # Fig. 8 first loop: project nodal velocities onto the base
+        for m in range(4):
+            sx = 0.0
+            sy = 0.0
+            sz = 0.0
+            for n in range(8):
+                nd = elem_node[el, n]
+                sx = sx + hourgam[n * 4 + m] * xd[nd]
+                sy = sy + hourgam[n * 4 + m] * yd[nd]
+                sz = sz + hourgam[n * 4 + m] * zd[nd]
+            hxx[m] = sx
+            hyy[m] = sy
+            hzz[m] = sz
+        # pressure + viscosity face force magnitude
+        coefficient = -HGCOEF * nodal_mass[elem_node[el, 0]] / DT
+        pq = (p_el[el] + q_el[el]) * DX * DX * 0.25
+        for n in range(8):
+            nd = elem_node[el, n]
+            # Fig. 8 second loop: aggregate hxx back through hourgam
+            hgfx = coefficient * (hourgam[n * 4] * hxx[0]
+                                  + hourgam[n * 4 + 1] * hxx[1]
+                                  + hourgam[n * 4 + 2] * hxx[2]
+                                  + hourgam[n * 4 + 3] * hxx[3])
+            hgfy = coefficient * (hourgam[n * 4] * hyy[0]
+                                  + hourgam[n * 4 + 1] * hyy[1]
+                                  + hourgam[n * 4 + 2] * hyy[2]
+                                  + hourgam[n * 4 + 3] * hyy[3])
+            hgfz = coefficient * (hourgam[n * 4] * hzz[0]
+                                  + hourgam[n * 4 + 1] * hzz[1]
+                                  + hourgam[n * 4 + 2] * hzz[2]
+                                  + hourgam[n * 4 + 3] * hzz[3])
+            fx[nd] = fx[nd] + hgfx + pq * sign_tab[n, 0]
+            fy[nd] = fy[nd] + hgfy + pq * sign_tab[n, 1]
+            fz[nd] = fz[nd] + hgfz + pq * sign_tab[n, 2]
+
+
+def lagrange_nodal() -> None:
+    """Zero forces, element force calc, nodal kinematics update."""
+    for n in range(NNODE):
+        fx[n] = 0.0
+        fy[n] = 0.0
+        fz[n] = 0.0
+    calc_volume_force()
+    for n in range(NNODE):
+        ax = fx[n] / nodal_mass[n]
+        ay = fy[n] / nodal_mass[n]
+        az = fz[n] / nodal_mass[n]
+        xd[n] = xd[n] + ax * DT
+        yd[n] = yd[n] + ay * DT
+        zd[n] = zd[n] + az * DT
+        xn[n] = xn[n] + xd[n] * DT
+        yn[n] = yn[n] + yd[n] * DT
+        zn[n] = zn[n] + zd[n] * DT
+
+
+def lagrange_elements() -> None:
+    """Volume rate, energy update, EOS, artificial viscosity."""
+    for el in range(NEL):
+        vdov = 0.0
+        for n in range(8):
+            nd = elem_node[el, n]
+            vdov = vdov + xd[nd] * sign_tab[n, 0] \
+                + yd[nd] * sign_tab[n, 1] + zd[nd] * sign_tab[n, 2]
+        vdov = vdov * 0.25 / DX
+        dvol = vdov * v_el[el] * DT
+        v_el[el] = v_el[el] + dvol
+        if v_el[el] < 0.05 * V0:
+            v_el[el] = 0.05 * V0
+        e_el[el] = e_el[el] - (p_el[el] + q_el[el]) * dvol
+        if e_el[el] < 0.0:
+            e_el[el] = 0.0
+        rho = V0 / v_el[el]
+        p_el[el] = (GAMMA_EOS - 1.0) * rho * e_el[el] / V0
+        if vdov < 0.0:
+            q_el[el] = QCOEF * rho * vdov * vdov
+        else:
+            q_el[el] = 0.0
+
+
+def calc_time_constraint() -> float:
+    """Courant-style minimum over element sound speeds."""
+    dtc = 1.0e20
+    for el in range(NEL):
+        ss2 = GAMMA_EOS * p_el[el] * v_el[el] / V0 + 1.0e-12
+        cand = DX / sqrt(ss2)
+        if cand < dtc:
+            dtc = cand
+    return dtc
+
+
+def lulesh_main() -> None:
+    build_mesh()
+    dtcheck = 0.0
+    for step in range(NSTEPS):      # the main loop
+        lagrange_nodal()
+        lagrange_elements()
+        dtcheck = calc_time_constraint()
+    etot = 0.0
+    for el in range(NEL):
+        etot = etot + e_el[el] + 0.5 * (p_el[el] + q_el[el]) * v_el[el]
+    energy = etot
+    err = fabs(etot - ref_energy)
+    if err < VERIFY_EPS:
+        verified = 1
+    # LULESH's final report truncates through %12.6e (Pattern 5)
+    emit("origin energy %12.6e", e_el[0])
+    emit("total  energy %12.6e", etot)
+    emit("dt constraint %12.6e", dtcheck)
+
+
+# --------------------------------------------------------------------------
+# builder
+# --------------------------------------------------------------------------
+
+_REF: dict[str, float] = {}
+
+
+def _build_module(ref: float):
+    pb = ProgramBuilder("lulesh")
+    pb.array("xn", F64, (NNODE,))
+    pb.array("yn", F64, (NNODE,))
+    pb.array("zn", F64, (NNODE,))
+    pb.array("xd", F64, (NNODE,))
+    pb.array("yd", F64, (NNODE,))
+    pb.array("zd", F64, (NNODE,))
+    pb.array("fx", F64, (NNODE,))
+    pb.array("fy", F64, (NNODE,))
+    pb.array("fz", F64, (NNODE,))
+    pb.array("nodal_mass", F64, (NNODE,))
+    pb.array("elem_node", I64, (NEL, 8))
+    pb.array("e_el", F64, (NEL,))
+    pb.array("p_el", F64, (NEL,))
+    pb.array("q_el", F64, (NEL,))
+    pb.array("v_el", F64, (NEL,))
+    pb.array("gamma_tab", F64, (4, 8), init=GAMMA_TAB)
+    pb.array("sign_tab", F64, (8, 3), init=SIGN_TAB)
+    pb.scalar("verified", I64, 0)
+    pb.scalar("energy", F64, 0.0)
+    pb.scalar("ref_energy", F64, ref)
+    pb.func(build_mesh)
+    pb.func(calc_volume_force)
+    pb.func(lagrange_nodal)
+    pb.func(lagrange_elements)
+    pb.func(calc_time_constraint)
+    pb.func(lulesh_main, name="main")
+    return pb.build(entry="main")
+
+
+@REGISTRY.register("lulesh")
+def build() -> Program:
+    if "e" not in _REF:
+        probe = Interpreter(_build_module(0.0))
+        probe.run()
+        _REF["e"] = probe.read_scalar("energy")
+    module = _build_module(_REF["e"])
+    return Program(name="lulesh", module=module,
+                   region_fn="calc_volume_force", region_prefix="l",
+                   main_fn="main",
+                   meta={"ref_energy": _REF["e"], "nsteps": NSTEPS,
+                         "nel": NEL})

@@ -1,0 +1,186 @@
+"""MG — NPB multigrid (Class-S analog).
+
+A two-level V-cycle solving the zero-boundary 3D Poisson-like system
+``A u = v`` with ``A = 6 I - (sum of six face neighbors)``, on an 8^3
+fine grid and 4^3 coarse grid, RHS charges placed by ``randlc`` (the
+zran3 analog).  All level data lives in flat arrays with level offsets,
+as in the original C code.
+
+``mg3P`` (the region function) inlines the V-cycle's loop nests, so
+its top-level loops become the code regions mg_a, mg_b, ... of Table I:
+restriction, coarse zero+smooth, interpolation, fine residual, fine
+smoothing.  The fine smoother is the paper's Fig. 9 code shape —
+``u[i] = u[i] + c0*r[i] + c1*(face sum of r)`` — the Repeated
+Additions pattern, and the per-invocation shrinking error magnitude of
+Table II is measured on exactly this array.
+
+Verification: final L2 residual norm ``rnm2`` against a baked
+fault-free reference.
+"""
+
+from __future__ import annotations
+
+from repro.apps.base import REGISTRY, Program
+from repro.apps.npbrand import add_randlc
+from repro.frontend import ProgramBuilder
+from repro.ir.types import F64, I64
+from repro.vm.interp import Interpreter
+
+NF = 8            # fine grid edge
+NC = 4            # coarse grid edge
+OFF_F = 0         # fine-level offset in u/r
+OFF_C = NF ** 3   # coarse-level offset
+UR_SIZE = NF ** 3 + NC ** 3
+NIT = 4           # main-loop V-cycles
+NCHARGE = 4       # +1/-1 charge pairs in the RHS
+C0 = 0.13333333333333333   # smoother center weight (~0.8/6)
+C1 = 0.016666666666666666  # smoother face weight
+VERIFY_EPS = 1e-10
+
+
+# --------------------------------------------------------------------------
+# MiniHPC kernels
+# --------------------------------------------------------------------------
+
+def zran3() -> None:
+    """Place NCHARGE +1 and NCHARGE -1 unit charges at randlc positions."""
+    for k in range(NCHARGE):
+        i3 = 1 + int(randlc() * float(NF - 2))
+        i2 = 1 + int(randlc() * float(NF - 2))
+        i1 = 1 + int(randlc() * float(NF - 2))
+        v[(i3 * NF + i2) * NF + i1] = 1.0
+        j3 = 1 + int(randlc() * float(NF - 2))
+        j2 = 1 + int(randlc() * float(NF - 2))
+        j1 = 1 + int(randlc() * float(NF - 2))
+        v[(j3 * NF + j2) * NF + j1] = v[(j3 * NF + j2) * NF + j1] - 1.0
+
+
+def resid_fine() -> None:
+    """r = v - A u on the fine grid (zero boundaries)."""
+    for i3 in range(1, NF - 1):
+        for i2 in range(1, NF - 1):
+            for i1 in range(1, NF - 1):
+                c = (i3 * NF + i2) * NF + i1
+                au = 6.0 * u[c] - u[c - 1] - u[c + 1] - u[c - NF] \
+                    - u[c + NF] - u[c - NF * NF] - u[c + NF * NF]
+                r[c] = v[c] - au
+
+
+def mg3P() -> None:
+    """One V-cycle; its top-level loop nests are the code regions."""
+    # mg region A: restriction r_fine -> r_coarse (full-weighting lite)
+    for i3 in range(1, NC - 1):
+        for i2 in range(1, NC - 1):
+            for i1 in range(1, NC - 1):
+                fc = ((2 * i3) * NF + 2 * i2) * NF + 2 * i1
+                cc = OFF_C + (i3 * NC + i2) * NC + i1
+                r[cc] = 0.5 * r[fc] + 0.125 * (
+                    r[fc - 1] + r[fc + 1] + r[fc - NF] + r[fc + NF]
+                    + r[fc - NF * NF] + r[fc + NF * NF])
+
+    # mg region B: coarse solve: zero guess + one smoothing sweep
+    for i in range(NC * NC * NC):
+        u[OFF_C + i] = 0.0
+
+    # mg region C: coarse smoothing (repeated-additions shape)
+    for i3 in range(1, NC - 1):
+        for i2 in range(1, NC - 1):
+            for i1 in range(1, NC - 1):
+                cc = OFF_C + (i3 * NC + i2) * NC + i1
+                u[cc] = u[cc] + C0 * r[cc] + C1 * (
+                    r[cc - 1] + r[cc + 1] + r[cc - NC] + r[cc + NC]
+                    + r[cc - NC * NC] + r[cc + NC * NC])
+
+    # mg region D: prolongation u_fine += interp(u_coarse)
+    for i3 in range(1, NC - 1):
+        for i2 in range(1, NC - 1):
+            for i1 in range(1, NC - 1):
+                cc = OFF_C + (i3 * NC + i2) * NC + i1
+                fc = ((2 * i3) * NF + 2 * i2) * NF + 2 * i1
+                uc = u[cc]
+                u[fc] = u[fc] + uc
+                u[fc + 1] = u[fc + 1] + 0.5 * uc
+                u[fc + NF] = u[fc + NF] + 0.5 * uc
+                u[fc + NF * NF] = u[fc + NF * NF] + 0.5 * uc
+
+    # mg region E: fine residual r = v - A u
+    for i3 in range(1, NF - 1):
+        for i2 in range(1, NF - 1):
+            for i1 in range(1, NF - 1):
+                c = (i3 * NF + i2) * NF + i1
+                au = 6.0 * u[c] - u[c - 1] - u[c + 1] - u[c - NF] \
+                    - u[c + NF] - u[c - NF * NF] - u[c + NF * NF]
+                r[c] = v[c] - au
+
+    # mg region F: fine smoothing — the paper's Fig. 9 code
+    for i3 in range(1, NF - 1):
+        for i2 in range(1, NF - 1):
+            for i1 in range(1, NF - 1):
+                c = (i3 * NF + i2) * NF + i1
+                u[c] = u[c] + C0 * r[c] + C1 * (
+                    r[c - 1] + r[c + 1] + r[c - NF] + r[c + NF]
+                    + r[c - NF * NF] + r[c + NF * NF])
+
+
+def norm2u3() -> float:
+    """L2 norm of the fine residual (NPB's rnm2)."""
+    s = 0.0
+    for i3 in range(1, NF - 1):
+        for i2 in range(1, NF - 1):
+            for i1 in range(1, NF - 1):
+                c = (i3 * NF + i2) * NF + i1
+                s = s + r[c] * r[c]
+    return sqrt(s / float((NF - 2) * (NF - 2) * (NF - 2)))
+
+
+def mg_main() -> None:
+    zran3()
+    for i in range(NF * NF * NF):   # r = v - A*0 = v
+        r[i] = v[i]
+    rn = 0.0
+    for it in range(NIT):           # the main loop
+        mg3P()
+        rn = norm2u3()
+        emit("iter rnm2 %15.8e", rn)
+    rnm2 = rn
+    err = fabs(rn - ref_rnm2)
+    if err < VERIFY_EPS:
+        verified = 1
+    emit("rnm2 = %12.6e", rn)
+
+
+# --------------------------------------------------------------------------
+# builder
+# --------------------------------------------------------------------------
+
+_REF: dict[str, float] = {}
+
+
+def _build_module(ref: float):
+    pb = ProgramBuilder("mg")
+    add_randlc(pb)
+    pb.array("u", F64, (UR_SIZE,))
+    pb.array("r", F64, (UR_SIZE,))
+    pb.array("v", F64, (NF ** 3,))
+    pb.scalar("verified", I64, 0)
+    pb.scalar("rnm2", F64, 0.0)
+    pb.scalar("ref_rnm2", F64, ref)
+    pb.func(zran3)
+    pb.func(resid_fine)
+    pb.func(mg3P)
+    pb.func(norm2u3)
+    pb.func(mg_main, name="main")
+    return pb.build(entry="main")
+
+
+@REGISTRY.register("mg")
+def build() -> Program:
+    if "rnm2" not in _REF:
+        probe = Interpreter(_build_module(0.0))
+        probe.run()
+        _REF["rnm2"] = probe.read_scalar("rnm2")
+    module = _build_module(_REF["rnm2"])
+    return Program(name="mg", module=module, region_fn="mg3P",
+                   region_prefix="mg", main_fn="main",
+                   meta={"ref_rnm2": _REF["rnm2"], "nf": NF, "nit": NIT,
+                         "center_cell": (4 * NF + 4) * NF + 4})

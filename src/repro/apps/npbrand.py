@@ -1,0 +1,56 @@
+"""NPB ``randlc`` as a MiniHPC kernel, shared by the app implementations.
+
+The NAS benchmarks draw all pseudo-random input through ``randlc``
+(x_{k+1} = 5^13 x_k mod 2^46), implemented in split 23-bit halves so it
+stays exact in doubles.  We compile the same split algorithm into the
+traced programs — it is real traced computation (CG's ``sprnvc`` calls
+it, Use Case 1 modifies code around it), and its ``int()`` truncations
+are genuine Truncation-pattern sites.
+
+The kernel keeps its LCG state in a global scalar named ``tran``; apps
+must declare it (``pb.scalar("tran", F64, seed)``).
+"""
+
+from __future__ import annotations
+
+# split-arithmetic constants (exactly representable in binary64)
+R23 = 2.0 ** -23
+T23 = 2.0 ** 23
+R46 = 2.0 ** -46
+T46 = 2.0 ** 46
+
+#: NPB multiplier 5^13
+AMULT = 1220703125.0
+
+#: compile-time constants handed to func_source for the kernel below
+RAND_GLOBALS = {"R23": R23, "T23": T23, "R46": R46, "T46": T46,
+                "AMULT": AMULT}
+
+# locals carry an rl_ prefix: MiniHPC has no shadowing, and apps declare
+# global arrays with NPB's traditional one-letter names (x, z, ...)
+RANDLC_SRC = '''
+def randlc() -> float:
+    """One NPB randlc draw in (0,1); state lives in global scalar tran."""
+    rl_a1 = float(int(R23 * AMULT))
+    rl_a2 = AMULT - T23 * rl_a1
+    rl_x1 = float(int(R23 * tran))
+    rl_x2 = tran - T23 * rl_x1
+    rl_t1 = rl_a1 * rl_x2 + rl_a2 * rl_x1
+    rl_t2 = float(int(R23 * rl_t1))
+    rl_z = rl_t1 - T23 * rl_t2
+    rl_t3 = T23 * rl_z + rl_a2 * rl_x2
+    rl_t4 = float(int(R46 * rl_t3))
+    rl_x = rl_t3 - T46 * rl_t4
+    tran = rl_x
+    return R46 * rl_x
+'''
+
+
+def add_randlc(pb, seed: float = 314159265.0) -> None:
+    """Declare the ``tran`` state scalar and register the kernel."""
+    pb.scalar("tran", _F64, seed)
+    pb.func_source(RANDLC_SRC, pyglobals=dict(RAND_GLOBALS))
+
+
+# local import indirection keeps this module import-light
+from repro.ir.types import F64 as _F64  # noqa: E402

@@ -1,0 +1,131 @@
+"""SP — NPB scalar-pentadiagonal ADI solver (Class-S analog).
+
+Like BT but each line solve is a *pentadiagonal* system
+(1, -4, 7, -4, 1)-style bands, eliminated with a two-band forward pass
+and two-term back substitution — the scalarized shape of NPB SP's
+``x/y/z_solve``.  Stack-allocated elimination buffers per line.
+
+Verification: solution L2 norm against a baked reference.
+"""
+
+from __future__ import annotations
+
+from repro.apps.base import REGISTRY, Program
+from repro.apps.npbrand import add_randlc
+from repro.frontend import ProgramBuilder
+from repro.ir.types import F64, I64
+from repro.vm.interp import Interpreter
+
+NS = 8
+NTOT = NS ** 3
+ITMAX = 3
+D0 = 7.0     # main diagonal
+D1 = -2.0    # first off-diagonals
+D2 = 0.5     # second off-diagonals
+VERIFY_EPS = 1e-10
+
+
+def sp_init() -> None:
+    for i in range(NTOT):
+        rhs[i] = randlc() - 0.5
+        uu[i] = 0.0
+
+
+def penta_line(base: int, stride: int) -> None:
+    """Pentadiagonal elimination along one grid line (in place).
+
+    Bands: [D2, D1, D0, D1, D2].  Forward elimination keeps the two
+    super-diagonal multipliers in stack buffers c1/c2; the rhs picks up
+    the relaxation source (rhs + uu).
+    """
+    c1 = alloca_f64(8)
+    c2 = alloca_f64(8)
+    dd = alloca_f64(8)
+    bb = alloca_f64(8)
+    for i in range(NS):
+        c = base + i * stride
+        bb[i] = rhs[c] + uu[c]
+        c1[i] = D1
+        c2[i] = D2
+        dd[i] = D0
+    for i in range(1, NS):
+        m = D1 / dd[i - 1]
+        dd[i] = dd[i] - m * c1[i - 1]
+        bb[i] = bb[i] - m * bb[i - 1]
+        c1[i] = c1[i] - m * c2[i - 1]
+        if i >= 2:
+            m2 = D2 / dd[i - 2]
+            dd[i] = dd[i] - m2 * c2[i - 2]
+            bb[i] = bb[i] - m2 * bb[i - 2]
+    uu[base + (NS - 1) * stride] = bb[NS - 1] / dd[NS - 1]
+    uu[base + (NS - 2) * stride] = \
+        (bb[NS - 2] - c1[NS - 2] * uu[base + (NS - 1) * stride]) / dd[NS - 2]
+    for i in range(NS - 3, -1, -1):
+        c = base + i * stride
+        uu[c] = (bb[i] - c1[i] * uu[c + stride]
+                 - c2[i] * uu[c + 2 * stride]) / dd[i]
+
+
+def sp_sweep() -> None:
+    """x, y, z pentadiagonal sweeps; the sp code regions."""
+    for a in range(NS):
+        for b in range(NS):
+            penta_line((a * NS + b) * NS, 1)
+    for a in range(NS):
+        for b in range(NS):
+            penta_line(a * NS * NS + b, NS)
+    for a in range(NS):
+        for b in range(NS):
+            penta_line(a * NS + b, NS * NS)
+
+
+def sp_norm() -> float:
+    s = 0.0
+    for i in range(NTOT):
+        s = s + uu[i] * uu[i]
+    return sqrt(s / float(NTOT))
+
+
+def sp_main() -> None:
+    sp_init()
+    rn = 0.0
+    for it in range(ITMAX):     # the main loop
+        sp_sweep()
+        rn = sp_norm()
+        emit("iter norm %15.8e", rn)
+    unorm = rn
+    err = fabs(rn - ref_norm)
+    if err < VERIFY_EPS:
+        verified = 1
+    emit("norm %12.6e", rn)
+
+
+_REF: dict[str, float] = {}
+
+
+def _build_module(ref: float):
+    pb = ProgramBuilder("sp")
+    add_randlc(pb)
+    pb.array("uu", F64, (NTOT,))
+    pb.array("rhs", F64, (NTOT,))
+    pb.scalar("verified", I64, 0)
+    pb.scalar("unorm", F64, 0.0)
+    pb.scalar("ref_norm", F64, ref)
+    pb.func(sp_init)
+    pb.func(penta_line)
+    pb.func(sp_sweep)
+    pb.func(sp_norm)
+    pb.func(sp_main, name="main")
+    return pb.build(entry="main")
+
+
+@REGISTRY.register("sp")
+def build() -> Program:
+    if "n" not in _REF:
+        probe = Interpreter(_build_module(0.0))
+        probe.run()
+        _REF["n"] = probe.read_scalar("unorm")
+    module = _build_module(_REF["n"])
+    return Program(name="sp", module=module, region_fn="sp_sweep",
+                   region_prefix="sp", main_fn="main",
+                   meta={"ref_norm": _REF["n"]})

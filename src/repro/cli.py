@@ -1,0 +1,245 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Exposes the FlipTracker pipeline for interactive exploration:
+
+=============  =============================================================
+``apps``       list the registered study programs
+``trace``      fault-free run: trace length, opcode histogram, verification
+``regions``    the code-region chain + dynamic instances (Table I skeleton)
+``io``         input/output/internal classification of a region instance
+``inject``     one traced injection: manifestation, ACL deaths, patterns
+``acl``        ASCII rendering of the ACL curve for one injection (Fig. 7)
+``campaign``   success-rate campaign for a region instance (Fig. 5 cell)
+``rates``      the six pattern-rate features of a program (Table IV row)
+``dot``        DDDG DOT export of a region instance (Graphviz)
+``sample``     Leveugle sample-size calculator (Section IV-C)
+=============  =============================================================
+
+Every command is deterministic under ``--seed``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Optional, Sequence
+
+from repro.apps import ALL_APPS, REGISTRY
+from repro.core import FlipTracker
+from repro.util.tables import format_table
+
+
+def _tracker(args) -> FlipTracker:
+    program = REGISTRY.build(args.app)
+    return FlipTracker(program, seed=args.seed, workers=args.workers)
+
+
+def cmd_apps(args) -> int:
+    rows = []
+    for name in ALL_APPS:
+        program = REGISTRY.build(name)
+        rows.append([name, program.region_fn, program.main_fn,
+                     ", ".join(f"{k}={v}" for k, v in
+                               sorted(program.meta.items())
+                               if isinstance(v, (int, float, str)))[:48]])
+    print(format_table(["App", "Region fn", "Main fn", "Meta"], rows,
+                       title="Registered study programs"))
+    return 0
+
+
+def cmd_trace(args) -> int:
+    ft = _tracker(args)
+    trace = ft.fault_free_trace()
+    print(trace.describe())
+    print(f"verification: PASS (fault-free)")
+    return 0
+
+
+def cmd_regions(args) -> int:
+    ft = _tracker(args)
+    rows = []
+    for inst in ft.instances():
+        if args.instance is not None and inst.index != args.instance:
+            continue
+        r = inst.region
+        rows.append([r.name, r.kind, f"{r.line_lo}-{r.line_hi}",
+                     inst.index, inst.start, inst.end, inst.n_instr])
+    print(format_table(
+        ["Region", "Kind", "Lines", "Inst", "Start", "End", "#instr"],
+        rows, title=f"{args.app}: code-region instances"))
+    return 0
+
+
+def cmd_io(args) -> int:
+    ft = _tracker(args)
+    inst = ft.instance_of(args.region, args.instance)
+    io = ft.io(inst)
+    print(io.summary())
+    if args.verbose:
+        for kind, locs in (("inputs", io.inputs), ("outputs", io.outputs)):
+            print(f"  {kind}:")
+            for loc in sorted(locs)[:args.limit]:
+                print(f"    loc {loc} = {locs[loc]!r}")
+    return 0
+
+
+def cmd_inject(args) -> int:
+    ft = _tracker(args)
+    inst = ft.instance_of(args.region, args.instance)
+    plans = ft.make_plans(inst, args.kind, 1, seed_offset=args.draw)
+    if not plans:
+        print(f"no {args.kind} sites in {args.region}#{args.instance}",
+              file=sys.stderr)
+        return 1
+    analysis = ft.analyze_injection(plans[0])
+    plan = plans[0]
+    print(f"plan: {plan.mode} flip, bit {plan.bit}, trigger {plan.trigger}"
+          + (f", loc {plan.loc}" if plan.loc is not None else ""))
+    print(f"manifestation: {analysis.manifestation.value}")
+    acl = analysis.acl
+    print(f"ACL: peak={acl.peak} births={len(acl.births)} "
+          f"deaths={acl.deaths_by_cause()} divergence={acl.divergence}")
+    if analysis.patterns:
+        rows = [[p.pattern, p.time, p.region or "-", p.line] for p in
+                analysis.patterns[:args.limit]]
+        print(format_table(["Pattern", "t", "Region", "Line"], rows,
+                           title="resilience-pattern instances"))
+    else:
+        print("no resilience patterns observed")
+    return 0
+
+
+def cmd_acl(args) -> int:
+    from repro.viz import acl_chart
+    ft = _tracker(args)
+    inst = ft.instance_of(args.region, args.instance)
+    plans = ft.make_plans(inst, args.kind, 1, seed_offset=args.draw)
+    if not plans:
+        print("no sites", file=sys.stderr)
+        return 1
+    analysis = ft.analyze_injection(plans[0])
+    print(acl_chart(analysis.acl,
+                    title=f"{args.app}/{args.region}#{args.instance} "
+                          f"{args.kind} flip "
+                          f"({analysis.manifestation.value})"))
+    return 0
+
+
+def cmd_campaign(args) -> int:
+    ft = _tracker(args)
+    res = ft.region_campaign(args.region, args.kind, n=args.n,
+                             instance_index=args.instance)
+    print(res)
+    return 0
+
+
+def cmd_rates(args) -> int:
+    ft = _tracker(args)
+    r = ft.pattern_rates()
+    rows = [[f, f"{getattr(r, f):.6f}"] for f in type(r).FIELDS]
+    rows.append(["total_instructions", r.total_instructions])
+    print(format_table(["Feature", "Value"], rows,
+                       title=f"{args.app}: pattern rates (Table IV row)"))
+    return 0
+
+
+def cmd_dot(args) -> int:
+    from repro.dddg import build_dddg, to_dot
+    ft = _tracker(args)
+    inst = ft.instance_of(args.region, args.instance)
+    d = build_dddg(ft.fault_free_trace().records, inst,
+                   max_records=args.max_records)
+    dot = to_dot(d, max_nodes=args.max_nodes)
+    if args.output:
+        with open(args.output, "w") as fh:
+            fh.write(dot)
+        print(f"wrote {args.output} ({d.graph.number_of_nodes()} nodes)")
+    else:
+        print(dot)
+    return 0
+
+
+def cmd_sample(args) -> int:
+    from repro.faults import sample_size
+    n = sample_size(args.population, args.confidence, args.margin)
+    print(f"population={args.population} confidence={args.confidence} "
+          f"margin={args.margin} -> {n} injections")
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    p = argparse.ArgumentParser(
+        prog="repro",
+        description="FlipTracker (SC'18) reproduction toolkit")
+    p.add_argument("--seed", type=int, default=20181111)
+    p.add_argument("--workers", type=int, default=1)
+    sub = p.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("apps", help="list study programs")
+
+    def app_cmd(name, help_, **extra):
+        sp = sub.add_parser(name, help=help_)
+        sp.add_argument("app", choices=list(ALL_APPS))
+        return sp
+
+    app_cmd("trace", "fault-free trace summary")
+
+    sp = app_cmd("regions", "region chain + instances")
+    sp.add_argument("--instance", type=int, default=None)
+
+    sp = app_cmd("io", "region-instance IO classification")
+    sp.add_argument("region")
+    sp.add_argument("--instance", type=int, default=0)
+    sp.add_argument("-v", "--verbose", action="store_true")
+    sp.add_argument("--limit", type=int, default=20)
+
+    for name, help_ in (("inject", "one traced injection + analysis"),
+                        ("acl", "ASCII ACL curve for one injection")):
+        sp = app_cmd(name, help_)
+        sp.add_argument("region")
+        sp.add_argument("--instance", type=int, default=0)
+        sp.add_argument("--kind", choices=("input", "internal"),
+                        default="internal")
+        sp.add_argument("--draw", type=int, default=0,
+                        help="site-sampling offset (new random site)")
+        sp.add_argument("--limit", type=int, default=20)
+
+    sp = app_cmd("campaign", "success-rate campaign (one Fig. 5 cell)")
+    sp.add_argument("region")
+    sp.add_argument("--instance", type=int, default=0)
+    sp.add_argument("--kind", choices=("input", "internal"),
+                    default="internal")
+    sp.add_argument("-n", type=int, default=40)
+
+    app_cmd("rates", "pattern-rate features (Table IV row)")
+
+    sp = app_cmd("dot", "DDDG DOT export")
+    sp.add_argument("region")
+    sp.add_argument("--instance", type=int, default=0)
+    sp.add_argument("-o", "--output", default=None)
+    sp.add_argument("--max-records", type=int, default=50_000)
+    sp.add_argument("--max-nodes", type=int, default=4000)
+
+    sp = sub.add_parser("sample", help="Leveugle sample-size calculator")
+    sp.add_argument("population", type=int)
+    sp.add_argument("--confidence", type=float, default=0.95)
+    sp.add_argument("--margin", type=float, default=0.03)
+
+    return p
+
+
+_HANDLERS = {
+    "apps": cmd_apps, "trace": cmd_trace, "regions": cmd_regions,
+    "io": cmd_io, "inject": cmd_inject, "acl": cmd_acl,
+    "campaign": cmd_campaign, "rates": cmd_rates, "dot": cmd_dot,
+    "sample": cmd_sample,
+}
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    return _HANDLERS[args.command](args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    raise SystemExit(main())

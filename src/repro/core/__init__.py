@@ -1,0 +1,5 @@
+"""FlipTracker core: the paper's end-to-end analysis pipeline."""
+
+from repro.core.fliptracker import FlipTracker, RunAnalysis
+
+__all__ = ["FlipTracker", "RunAnalysis"]

@@ -1,0 +1,389 @@
+"""FlipTracker: the end-to-end analysis pipeline (paper Fig. 1).
+
+Workflow implemented here, mirroring Sections III-IV:
+
+(a) model the application as a chain of code regions (loop-delineated);
+(b) trace a fault-free run and split it into region instances;
+(c) classify each instance's input/output/internal locations;
+(d) inject single-bit flips into input/internal locations of chosen
+    instances, either in *campaign* mode (many untraced runs, success
+    rates — Figs. 5/6) or in *analysis* mode (traced faulty runs, ACL
+    tables, pattern detection — Table I, Fig. 7, Table II).
+"""
+
+from __future__ import annotations
+
+import multiprocessing as mp
+import os
+import zlib
+from dataclasses import dataclass, field
+from typing import Optional, Sequence
+
+from repro.acl.table import ACLResult, build_acl
+from repro.apps.base import Program
+from repro.faults.campaign import (CampaignResult, Manifestation,
+                                   run_campaign, run_plan)
+from repro.faults.sites import (input_site_population,
+                                internal_site_population, sample_input_plan,
+                                sample_internal_plan, stratified_probe_plans)
+from repro.faults.statistics import sample_size
+from repro.patterns.base import PatternInstance
+from repro.patterns.detect import detect_all
+from repro.patterns.rates import PatternRates, compute_rates
+from repro.regions.model import (RegionInstance, RegionModel, detect_regions,
+                                 main_loop_iterations, split_instances)
+from repro.regions.variables import RegionIO, classify_io
+from repro.trace.events import Trace, TraceMeta
+from repro.trace.index import TraceIndex
+from repro.util.rng import DeterministicRNG
+from repro.vm.errors import VMError
+from repro.vm.fault import FaultPlan
+
+
+@dataclass
+class RunAnalysis:
+    """Everything learned from one traced faulty run."""
+
+    plan: FaultPlan
+    manifestation: Manifestation
+    faulty: Optional[Trace]
+    acl: Optional[ACLResult]
+    patterns: list[PatternInstance] = field(default_factory=list)
+
+    def patterns_by_region(self) -> dict[str, set[str]]:
+        out: dict[str, set[str]] = {}
+        for p in self.patterns:
+            if p.region is not None:
+                out.setdefault(p.region, set()).add(p.pattern)
+        return out
+
+
+#: tracker handed to forked pattern-analysis workers (fork COW)
+_FORK_TRACKER: Optional["FlipTracker"] = None
+
+
+def _analyze_patterns_forked(plan: FaultPlan) -> dict[str, set[str]]:
+    assert _FORK_TRACKER is not None
+    analysis = _FORK_TRACKER.analyze_injection(plan)
+    return {region: set(pats) for region, pats
+            in analysis.patterns_by_region().items()}
+
+
+class FlipTracker:
+    """Analysis driver bound to one built program.
+
+    Parameters
+    ----------
+    program:
+        A built app (see :mod:`repro.apps`).
+    seed:
+        Seed for all site sampling within this driver.
+    workers:
+        Process count for campaigns (1 = sequential).
+    """
+
+    def __init__(self, program: Program, seed: int = 1234,
+                 workers: int = 1):
+        self.program = program
+        self.seed = seed
+        self.workers = workers
+        self._ff: Optional[Trace] = None
+        self._index: Optional[TraceIndex] = None
+        self._model: Optional[RegionModel] = None
+        self._instances: Optional[list[RegionInstance]] = None
+        self._io_cache: dict[tuple[str, int], RegionIO] = {}
+        self._rates: Optional[PatternRates] = None
+
+    # ------------------------------------------------------------ fault-free
+    def fault_free_trace(self) -> Trace:
+        """Trace the golden run (cached)."""
+        if self._ff is None:
+            interp = self.program.run_fault_free(trace=True)
+            self._ff = Trace(interp.records, self.program.module,
+                             TraceMeta(program=self.program.name))
+        return self._ff
+
+    def trace_index(self) -> TraceIndex:
+        if self._index is None:
+            self._index = TraceIndex(self.fault_free_trace().records)
+        return self._index
+
+    @property
+    def faulty_budget(self) -> int:
+        """Instruction budget for faulty runs (hang detection)."""
+        return 3 * len(self.fault_free_trace()) + 50_000
+
+    # ------------------------------------------------------------ regions
+    def region_model(self) -> RegionModel:
+        if self._model is None:
+            self._model = detect_regions(self.program.module,
+                                         self.program.region_fn,
+                                         self.program.region_prefix)
+        return self._model
+
+    def instances(self) -> list[RegionInstance]:
+        if self._instances is None:
+            self._instances = split_instances(
+                self.fault_free_trace().records, self.region_model())
+        return self._instances
+
+    def instance_of(self, region_name: str,
+                    instance_index: int = 0) -> RegionInstance:
+        for inst in self.instances():
+            if inst.region.name == region_name and \
+                    inst.index == instance_index:
+                return inst
+        raise KeyError(f"no instance {instance_index} of region "
+                       f"{region_name!r}")
+
+    def io(self, instance: RegionInstance) -> RegionIO:
+        key = (instance.region.name, instance.index)
+        if key not in self._io_cache:
+            self._io_cache[key] = classify_io(
+                self.fault_free_trace().records, self.trace_index(),
+                instance)
+        return self._io_cache[key]
+
+    # ------------------------------------------------------------ main loop
+    def main_loop_iterations(self) -> list[RegionInstance]:
+        """Each main-loop iteration as a pseudo region instance (Fig. 6)."""
+        trace = self.fault_free_trace()
+        return main_loop_iterations(trace.records, self.program.module,
+                                    self.program.main_fn)
+
+    def whole_program_instance(self) -> RegionInstance:
+        """The entire execution as one pseudo instance.
+
+        Used for whole-application success-rate campaigns (Use Case 1's
+        Table III and Table IV's measured SR column), where the paper
+        injects uniformly over the application rather than per region.
+        """
+        from repro.regions.model import CodeRegion
+        trace = self.fault_free_trace()
+        region = CodeRegion(-2, "whole_program", "straight",
+                            self.program.entry, frozenset(), 0, 0)
+        return RegionInstance(region, 0, len(trace), 0)
+
+    def whole_program_campaign(self, kind: str = "internal",
+                               n: int = 100) -> CampaignResult:
+        """Success rate over uniform whole-application injections."""
+        inst = self.whole_program_instance()
+        plans = self.make_plans(inst, kind, n)
+        return run_campaign(self.program, plans, workers=self.workers,
+                            max_instr=self.faulty_budget,
+                            label=f"{self.program.name}/whole/{kind}")
+
+    # ------------------------------------------------------------ planning
+    def make_plans(self, instance: RegionInstance, kind: str, n: int,
+                   seed_offset: int = 0) -> list[FaultPlan]:
+        """Sample ``n`` single-bit-flip plans for one instance.
+
+        Deterministic across processes: the per-target stream is keyed
+        by a stable CRC (builtin ``hash`` of strings is randomized per
+        interpreter by PYTHONHASHSEED and must not feed seeds).
+        """
+        io = self.io(instance)
+        key = (f"{instance.region.name}|{instance.index}|{kind}|"
+               f"{seed_offset}").encode()
+        rng = DeterministicRNG(self.seed).spawn(
+            zlib.crc32(key) & 0xFFFF)
+        plans: list[FaultPlan] = []
+        records = self.fault_free_trace().records
+        module = self.program.module
+        for _ in range(n * 4):
+            if len(plans) >= n:
+                break
+            if kind == "input":
+                drawn = sample_input_plan(io, module, rng)
+            elif kind == "internal":
+                drawn = sample_internal_plan(records, io, module, rng)
+            else:
+                raise ValueError(f"kind must be input|internal, got {kind!r}")
+            if drawn is not None:
+                plans.append(drawn[0])
+        return plans
+
+    def campaign_size(self, instance: RegionInstance, kind: str,
+                      confidence: float = 0.95, margin: float = 0.03,
+                      cap: Optional[int] = None) -> int:
+        """Leveugle-sized injection count for an instance target."""
+        io = self.io(instance)
+        if kind == "input":
+            pop = input_site_population(io, self.program.module)
+        else:
+            pop = internal_site_population(
+                self.fault_free_trace().records, instance)
+        n = sample_size(pop, confidence, margin)
+        return min(n, cap) if cap is not None else n
+
+    # ------------------------------------------------------------ campaigns
+    def region_campaign(self, region_name: str, kind: str,
+                        n: Optional[int] = None,
+                        instance_index: int = 0,
+                        cap: Optional[int] = None) -> CampaignResult:
+        """Success rate for one region instance (Fig. 5 data points)."""
+        inst = self.instance_of(region_name, instance_index)
+        count = n if n is not None else self.campaign_size(inst, kind,
+                                                           cap=cap)
+        plans = self.make_plans(inst, kind, count)
+        return run_campaign(self.program, plans, workers=self.workers,
+                            max_instr=self.faulty_budget,
+                            label=f"{self.program.name}/{region_name}/{kind}")
+
+    def iteration_campaign(self, iteration: int, kind: str,
+                           n: int = 50) -> CampaignResult:
+        """Success rate for one main-loop iteration (Fig. 6 data points)."""
+        iters = self.main_loop_iterations()
+        if iteration >= len(iters):
+            raise IndexError(f"main loop has {len(iters)} iterations")
+        inst = iters[iteration]
+        plans = self.make_plans(inst, kind, n, seed_offset=iteration + 1)
+        return run_campaign(self.program, plans, workers=self.workers,
+                            max_instr=self.faulty_budget,
+                            label=f"{self.program.name}/iter{iteration}/{kind}")
+
+    # ------------------------------------------------------------ analysis
+    def analyze_injection(self, plan: FaultPlan) -> RunAnalysis:
+        """Trace one faulty run and extract ACL + pattern instances."""
+        interp = self.program.fresh_interpreter(
+            trace=True, fault=plan, max_instr=self.faulty_budget)
+        crashed = False
+        try:
+            interp.run(self.program.entry)
+        except VMError:
+            crashed = True
+        except (TypeError, ValueError, OverflowError, MemoryError):
+            crashed = True
+        faulty = Trace(interp.records, self.program.module,
+                       TraceMeta(program=self.program.name, faulty=True,
+                                 fault_desc=interp.fault_record.describe()))
+        if crashed:
+            manifestation = Manifestation.CRASHED
+        else:
+            try:
+                ok = self.program.check(interp)
+            except Exception:
+                ok = False
+            manifestation = (Manifestation.SUCCESS if ok
+                             else Manifestation.FAILED)
+        frec = interp.fault_record
+        injected_loc = frec.loc if frec.fired else None
+        injected_time = frec.dyn_index if frec.fired else None
+        acl = build_acl(self.fault_free_trace(), faulty,
+                        injected_loc=injected_loc,
+                        injected_time=injected_time)
+        model = self.region_model()
+        faulty_instances = split_instances(faulty.records, model)
+        patterns = detect_all(self.fault_free_trace(), faulty, acl,
+                              acl.read_index, faulty_instances)
+        return RunAnalysis(plan, manifestation, faulty, acl, patterns)
+
+    def probe_plans(self, instance: RegionInstance,
+                    bits: Optional[Sequence[int]] = None,
+                    n_sites: int = 2) -> list[FaultPlan]:
+        """Deterministic stratified bit-sweep probes for one instance.
+
+        See :func:`repro.faults.sites.stratified_probe_plans`: a few
+        evenly spaced sites per kind x a fixed bit stratum, covering
+        the low-bit behaviours (shift/truncation/conditional masking)
+        that uniform sampling misses at small campaign sizes.
+        """
+        from repro.faults.sites import PROBE_BITS
+        io = self.io(instance)
+        pairs = stratified_probe_plans(self.fault_free_trace().records, io,
+                                       self.program.module,
+                                       bits=bits or PROBE_BITS,
+                                       n_sites=n_sites)
+        return [plan for plan, _info in pairs]
+
+    def region_patterns(self, runs_per_kind: int = 3,
+                        instance_index: int = 0,
+                        loop_only: bool = False,
+                        probe_sites: int = 0,
+                        probe_bits: Optional[Sequence[int]] = None
+                        ) -> dict[str, set[str]]:
+        """Patterns observed per region across sampled injections (Table I).
+
+        Injects a few traced faults into every region instance (both
+        input and internal locations) and unions the detected pattern
+        sets by region.  ``loop_only`` restricts the *injection targets*
+        to loop regions (the straight regions between loops are a few
+        loop-setup instructions); patterns are still attributed to
+        whichever region they occur in.
+
+        ``probe_sites > 0`` adds the deterministic stratified bit-sweep
+        probes of :meth:`probe_plans` on top of the ``runs_per_kind``
+        uniform draws — pattern detection needs low-bit coverage that
+        uniform sampling only reaches at Leveugle-scale campaign sizes.
+
+        With ``self.workers > 1`` (and a fork-capable OS) the traced
+        analysis runs fan out across processes; the children inherit
+        the parent's cached fault-free trace copy-on-write.
+        """
+        found: dict[str, set[str]] = {r.region.name: set()
+                                      for r in self.instances()
+                                      if r.index == instance_index}
+        plans: list[FaultPlan] = []
+        for inst in self.instances():
+            if inst.index != instance_index:
+                continue
+            if loop_only and inst.region.kind != "loop":
+                continue
+            for kind in ("input", "internal"):
+                plans.extend(self.make_plans(inst, kind, runs_per_kind))
+            if probe_sites > 0:
+                plans.extend(self.probe_plans(inst, bits=probe_bits,
+                                              n_sites=probe_sites))
+        for pats_by_region in self._analyze_many(plans):
+            for region, pats in pats_by_region.items():
+                found.setdefault(region, set()).update(pats)
+        return found
+
+    def _analyze_many(self, plans: Sequence[FaultPlan]
+                      ) -> list[dict[str, set[str]]]:
+        """Patterns-by-region for many traced injections, parallel-aware."""
+        if self.workers > 1 and len(plans) >= 4 and hasattr(os, "fork"):
+            # children inherit the cached fault-free trace via fork COW;
+            # only the small pattern dicts cross process boundaries
+            global _FORK_TRACKER
+            self.fault_free_trace()
+            self.trace_index()
+            self.instances()
+            _FORK_TRACKER = self
+            try:
+                ctx = mp.get_context("fork")
+                with ctx.Pool(self.workers) as pool:
+                    return pool.map(_analyze_patterns_forked, plans,
+                                    chunksize=max(1, len(plans) // (self.workers * 4)))
+            finally:
+                _FORK_TRACKER = None
+        out = []
+        for plan in plans:
+            analysis = self.analyze_injection(plan)
+            out.append({region: set(pats) for region, pats
+                        in analysis.patterns_by_region().items()})
+        return out
+
+    def compare_regions(self, analysis: RunAnalysis,
+                        max_instance_records: int = 200_000):
+        """DDDG Case-1/Case-2 classification of every matched instance.
+
+        Runs the Section III-D region-level comparison for one traced
+        faulty run (see :mod:`repro.dddg.compare`): which region
+        instances masked the corruption (Case 1), which diminished its
+        magnitude (Case 2), and where control flow diverged.
+        """
+        from repro.dddg.compare import compare_run
+        if analysis.faulty is None:
+            raise ValueError("analysis carries no faulty trace")
+        return compare_run(self.fault_free_trace().records,
+                           self.trace_index(), self.instances(),
+                           analysis.faulty.records, self.region_model(),
+                           max_instance_records=max_instance_records)
+
+    # ------------------------------------------------------------ features
+    def pattern_rates(self) -> PatternRates:
+        """Table IV feature vector for this program."""
+        if self._rates is None:
+            self._rates = compute_rates(self.fault_free_trace())
+        return self._rates

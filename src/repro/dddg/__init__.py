@@ -1,0 +1,35 @@
+"""Dynamic Data Dependency Graphs (paper Section III-B).
+
+A DDDG is built per code-region instance from the dynamic instruction
+trace: *vertices are the values of variables obtained from registers or
+memory; edges are operations transforming input values into output
+values*.  Root nodes are the instance's inputs, leaf nodes its outputs,
+everything else internal — the same classification
+:mod:`repro.regions.variables` computes set-wise, but here with the
+full operation structure in between, which is what lets FlipTracker
+
+* compare data propagation between faulty and fault-free runs,
+* detect control-flow divergence inside a region by comparing the
+  operation sequences,
+* track how corrupted *values* change across operations (where fault
+  tolerance occurs), and
+* classify a region instance as paper Case 1 (corrupted inputs, clean
+  outputs) or Case 2 (corruption present but error magnitude shrinks).
+
+Construction follows Holewinski et al. (PLDI'12), adapted from their
+static-vectorization use to error propagation: one graph node per
+dynamic value definition, not per variable.
+"""
+
+from repro.dddg.builder import DDDG, ValueNode, build_dddg
+from repro.dddg.compare import (CASE1, CASE2, CLEAN, DIVERGED, NO_TOLERANCE,
+                                RegionComparison, compare_instance,
+                                compare_run, error_magnitude)
+from repro.dddg.export import to_dot
+
+__all__ = [
+    "DDDG", "ValueNode", "build_dddg",
+    "RegionComparison", "compare_instance", "compare_run",
+    "error_magnitude", "to_dot",
+    "CASE1", "CASE2", "CLEAN", "DIVERGED", "NO_TOLERANCE",
+]

@@ -1,0 +1,15 @@
+"""Fault injection: sites, plans, campaigns, statistical sizing."""
+
+from repro.faults.campaign import (CampaignResult, Manifestation,
+                                   run_campaign, run_plan)
+from repro.faults.sites import (SiteInfo, input_site_population,
+                                internal_site_population, result_width,
+                                sample_input_plan, sample_internal_plan)
+from repro.faults.statistics import sample_size, z_score
+
+__all__ = [
+    "CampaignResult", "Manifestation", "run_campaign", "run_plan",
+    "SiteInfo", "input_site_population", "internal_site_population",
+    "result_width", "sample_input_plan", "sample_internal_plan",
+    "sample_size", "z_score",
+]

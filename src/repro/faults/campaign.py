@@ -1,0 +1,144 @@
+"""Fault-injection campaigns and the manifestation taxonomy.
+
+One campaign = many independent faulty runs of one program, each with a
+single-bit-flip :class:`~repro.vm.fault.FaultPlan`, classified per the
+paper's fault-manifestation model (Section II-A1):
+
+* ``SUCCESS`` — run completed and passed the app's verification phase;
+* ``FAILED``  — run completed but verification rejected the output
+  (an SDC that was not tolerated);
+* ``CRASHED`` — segfault/trap/hang (the paper folds hangs into crashes).
+
+``success_rate = #SUCCESS / #injections`` (Equation 1).
+
+Campaigns parallelize across processes: workers rebuild the program
+from ``(app name, params)`` via the app registry, so only small plan
+objects cross process boundaries.
+"""
+
+from __future__ import annotations
+
+import multiprocessing as mp
+import os
+from dataclasses import dataclass, field
+from enum import Enum
+from typing import Iterable, Optional, Sequence
+
+from repro.apps.base import Program, REGISTRY
+from repro.vm.errors import VMError
+from repro.vm.fault import FaultPlan
+
+
+class Manifestation(Enum):
+    """Outcome class of one faulty run."""
+
+    SUCCESS = "success"
+    FAILED = "failed"
+    CRASHED = "crashed"
+
+
+@dataclass
+class CampaignResult:
+    """Aggregated outcome counts of one campaign."""
+
+    success: int = 0
+    failed: int = 0
+    crashed: int = 0
+    label: str = ""
+    details: dict = field(default_factory=dict)
+
+    def add(self, m: Manifestation) -> None:
+        if m is Manifestation.SUCCESS:
+            self.success += 1
+        elif m is Manifestation.FAILED:
+            self.failed += 1
+        else:
+            self.crashed += 1
+
+    def merge(self, other: "CampaignResult") -> "CampaignResult":
+        self.success += other.success
+        self.failed += other.failed
+        self.crashed += other.crashed
+        return self
+
+    @property
+    def total(self) -> int:
+        return self.success + self.failed + self.crashed
+
+    @property
+    def success_rate(self) -> float:
+        """Equation 1 of the paper."""
+        return self.success / self.total if self.total else 0.0
+
+    def __str__(self) -> str:
+        return (f"{self.label or 'campaign'}: {self.total} injections, "
+                f"success_rate={self.success_rate:.3f} "
+                f"(ok={self.success} sdc={self.failed} crash={self.crashed})")
+
+
+def run_plan(program: Program, plan: FaultPlan,
+             max_instr: Optional[int] = None) -> Manifestation:
+    """Execute one faulty run and classify its manifestation."""
+    interp = program.fresh_interpreter(fault=plan, max_instr=max_instr)
+    try:
+        interp.run(program.entry)
+    except VMError:
+        return Manifestation.CRASHED
+    except (TypeError, ValueError, OverflowError, MemoryError):
+        # type-confused corrupted values surfacing as Python-level errors
+        # correspond to machine-level traps
+        return Manifestation.CRASHED
+    try:
+        ok = program.check(interp)
+    except Exception:
+        return Manifestation.FAILED
+    return Manifestation.SUCCESS if ok else Manifestation.FAILED
+
+
+# ---------------------------------------------------------------- worker pool
+_WORKER_PROGRAM: Optional[Program] = None
+_WORKER_MAXI: Optional[int] = None
+
+
+def _init_worker(app_name: str, params: dict,
+                 max_instr: Optional[int]) -> None:
+    import repro.apps  # ensure the registry is populated  # noqa: F401
+    global _WORKER_PROGRAM, _WORKER_MAXI
+    _WORKER_PROGRAM = REGISTRY.build(app_name, **params)
+    _WORKER_MAXI = max_instr
+
+
+def _run_chunk(plans: Sequence[FaultPlan]) -> list[str]:
+    assert _WORKER_PROGRAM is not None
+    return [run_plan(_WORKER_PROGRAM, p, _WORKER_MAXI).value for p in plans]
+
+
+def run_campaign(program: Program, plans: Iterable[FaultPlan], *,
+                 workers: Optional[int] = None,
+                 max_instr: Optional[int] = None,
+                 label: str = "") -> CampaignResult:
+    """Run all ``plans`` against ``program`` and aggregate outcomes.
+
+    ``workers=None`` auto-selects (#cores, capped at 4); ``workers<=1``
+    runs sequentially in-process, which is what the unit tests and the
+    pytest benchmarks use for determinism of timing.
+    """
+    plans = list(plans)
+    result = CampaignResult(label=label)
+    if workers is None:
+        workers = min(4, os.cpu_count() or 1)
+    if workers <= 1 or len(plans) < 8:
+        for plan in plans:
+            result.add(run_plan(program, plan, max_instr))
+        return result
+
+    chunk = max(1, len(plans) // (workers * 8))
+    chunks = [plans[i:i + chunk] for i in range(0, len(plans), chunk)]
+    ctx = mp.get_context("fork") if hasattr(os, "fork") else mp.get_context()
+    with ctx.Pool(workers, initializer=_init_worker,
+                  initargs=(program.name, program.params,
+                            max_instr)) as pool:
+        for outcomes in pool.imap_unordered(_run_chunk, chunks):
+            for value in outcomes:
+                result.add(Manifestation(value))
+    return result

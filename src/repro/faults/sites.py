@@ -1,0 +1,181 @@
+"""Injection-site enumeration and sampling (FlipIt analog).
+
+A *site* is a (dynamic target, bit) pair.  Mirroring Section V-C, sites
+come in two flavours per region instance:
+
+* **input sites** — flip a bit of the value held by one of the
+  instance's input locations at instance entry (``"loc"`` mode plans);
+* **internal sites** — flip a bit of the result of a dynamic
+  instruction inside the instance that defines an internal location
+  (``"result"`` mode plans).
+
+Populations are huge (every instruction x 64 bits), so internal sites
+are *sampled* uniformly by rejection rather than materialized.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Sequence
+
+from repro.ir import opcodes as oc
+from repro.regions.model import RegionInstance
+from repro.regions.variables import RegionIO, location_width
+from repro.trace.events import R_DLOC, R_OP
+from repro.util.rng import DeterministicRNG
+from repro.vm.fault import FaultPlan
+
+#: opcodes whose results cannot be targeted by "result"-mode plans
+#: (no committed register/memory result, or frame bookkeeping)
+_UNTARGETABLE = frozenset({oc.BR, oc.CBR, oc.CALL, oc.RET, oc.EMIT, oc.NOP,
+                           oc.MPI_BARRIER, oc.MPI_SEND, oc.ALLOCA})
+
+
+@dataclass(frozen=True)
+class SiteInfo:
+    """Descriptive metadata kept alongside a plan for reporting."""
+
+    region: str
+    instance: int
+    kind: str        # "input" or "internal"
+    loc: Optional[int]
+    trigger: int
+    bit: int
+
+
+def input_site_population(io: RegionIO, module) -> int:
+    """Number of (input location, bit) pairs for an instance."""
+    total = 0
+    for loc, val in io.inputs.items():
+        total += location_width(module, loc, val)
+    return total
+
+
+def internal_site_population(records: Sequence,
+                             instance: RegionInstance) -> int:
+    """Upper bound: targetable defs in the instance x 64 bits."""
+    n = 0
+    for t in range(instance.start, instance.end):
+        rec = records[t]
+        if rec[R_DLOC] is not None and rec[R_OP] not in _UNTARGETABLE:
+            n += 1
+    return n * 64
+
+
+def sample_input_plan(io: RegionIO, module, rng: DeterministicRNG
+                      ) -> Optional[tuple[FaultPlan, SiteInfo]]:
+    """Uniformly choose one (input location, bit) site of an instance."""
+    if not io.inputs:
+        return None
+    locs = sorted(io.inputs)
+    loc = locs[rng.randint(0, len(locs) - 1)]
+    width = location_width(module, loc, io.inputs[loc])
+    bit = rng.randint(0, width - 1)
+    trigger = io.instance.start
+    plan = FaultPlan(trigger=trigger, mode="loc", bit=bit, loc=loc,
+                     width=width)
+    info = SiteInfo(io.instance.region.name, io.instance.index, "input",
+                    loc, trigger, bit)
+    return plan, info
+
+
+def sample_internal_plan(records: Sequence, io: RegionIO, module,
+                         rng: DeterministicRNG, max_tries: int = 2000
+                         ) -> Optional[tuple[FaultPlan, SiteInfo]]:
+    """Uniformly sample one internal-def site by rejection.
+
+    Draws a position in [start, end) and accepts it when the record
+    defines an internal location with a targetable opcode; this is
+    uniform over accepted positions without materializing them.
+    """
+    inst = io.instance
+    a, b = inst.start, inst.end
+    if b <= a:
+        return None
+    internals = io.internals
+    for _ in range(max_tries):
+        t = rng.randint(a, b - 1)
+        rec = records[t]
+        dloc = rec[R_DLOC]
+        if dloc is None or rec[R_OP] in _UNTARGETABLE:
+            continue
+        if dloc not in internals:
+            continue
+        width = result_width(module, rec)
+        bit = rng.randint(0, width - 1)
+        plan = FaultPlan(trigger=t, mode="result", bit=bit, width=width)
+        info = SiteInfo(inst.region.name, inst.index, "internal", dloc, t,
+                        bit)
+        return plan, info
+    return None
+
+
+#: default probe strata: low mantissa/int bits (shift & truncation
+#: masking), mid mantissa, high mantissa, low exponent, sign-adjacent
+PROBE_BITS = (0, 4, 20, 40, 52, 62)
+
+
+def stratified_probe_plans(records: Sequence, io: RegionIO, module,
+                           bits: Sequence[int] = PROBE_BITS,
+                           n_sites: int = 2
+                           ) -> list[tuple[FaultPlan, SiteInfo]]:
+    """Deterministic probes: a few sites x a bit sweep per kind.
+
+    Purely random sampling at small campaign sizes almost never lands
+    on the *low* bits where Shifting/Truncation/Conditional-Statement
+    masking lives (6 of 64 bits for a 5-bit shift).  For pattern
+    *detection* (Table I) — as opposed to success-rate *measurement*
+    (Figs. 5/6), which keeps the uniform model — we sweep a fixed bit
+    stratum over a few evenly spaced sites of every region instance.
+    FlipIt's "user-specified population of instructions and operands"
+    explicitly supports such directed populations.
+    """
+    inst = io.instance
+    plans: list[tuple[FaultPlan, SiteInfo]] = []
+
+    # input probes: evenly spaced input locations at instance entry
+    locs = sorted(io.inputs)
+    if locs:
+        step = max(1, len(locs) // n_sites)
+        for loc in locs[::step][:n_sites]:
+            width = location_width(module, loc, io.inputs[loc])
+            for bit in bits:
+                if bit >= width:
+                    continue
+                plan = FaultPlan(trigger=inst.start, mode="loc", bit=bit,
+                                 loc=loc, width=width)
+                info = SiteInfo(inst.region.name, inst.index, "input", loc,
+                                inst.start, bit)
+                plans.append((plan, info))
+
+    # internal probes: evenly spaced targetable internal defs
+    defs = [t for t in range(inst.start, inst.end)
+            if records[t][R_DLOC] is not None
+            and records[t][R_OP] not in _UNTARGETABLE
+            and records[t][R_DLOC] in io.internals]
+    if defs:
+        step = max(1, len(defs) // n_sites)
+        for t in defs[::step][:n_sites]:
+            width = result_width(module, records[t])
+            for bit in bits:
+                if bit >= width:
+                    continue
+                plan = FaultPlan(trigger=t, mode="result", bit=bit,
+                                 width=width)
+                info = SiteInfo(inst.region.name, inst.index, "internal",
+                                records[t][R_DLOC], t, bit)
+                plans.append((plan, info))
+    return plans
+
+
+def result_width(module, rec) -> int:
+    """Bit width of a record's result, from static instruction typing."""
+    from repro.trace.events import R_FN, R_PC
+    fns = getattr(module, "_fn_list", None)
+    if fns is None:
+        fns = list(module.functions.values())
+        module._fn_list = fns
+    fn = fns[rec[R_FN]]
+    instr = fn.instr_at[rec[R_PC]]
+    bits = instr.rtype.bits
+    return bits if bits in (1, 32, 64) else 64

@@ -1,0 +1,59 @@
+"""Statistical sizing of fault-injection campaigns.
+
+Implements the sample-size rule of Leveugle et al. (DATE'09), which the
+paper uses twice: 95 % confidence / 3 % margin for the region campaigns
+(Section IV-C) and 99 % / 1 % for the use cases (Section VII):
+
+    n = N / (1 + e^2 * (N - 1) / (z^2 * p * (1 - p)))
+
+where N is the size of the fault-site population, e the margin of
+error, z the normal quantile of the confidence level, and p = 0.5 the
+worst-case outcome proportion.
+"""
+
+from __future__ import annotations
+
+import math
+
+#: two-sided normal quantiles for common confidence levels
+Z_SCORES = {0.90: 1.6448536269514722,
+            0.95: 1.959963984540054,
+            0.99: 2.5758293035489004}
+
+
+def z_score(confidence: float) -> float:
+    """Normal quantile for a confidence level (exact for 0.90/0.95/0.99).
+
+    Other levels are resolved through the error function so no SciPy
+    import is needed on this hot path.
+    """
+    if confidence in Z_SCORES:
+        return Z_SCORES[confidence]
+    if not 0.5 < confidence < 1.0:
+        raise ValueError(f"confidence must be in (0.5, 1), got {confidence}")
+    # invert the normal CDF by bisection on erf (double precision is plenty)
+    lo, hi = 0.0, 10.0
+    target = confidence
+    for _ in range(200):
+        mid = (lo + hi) / 2
+        if 0.5 * (1 + math.erf(mid / math.sqrt(2))) < (1 + target) / 2:
+            lo = mid
+        else:
+            hi = mid
+    return (lo + hi) / 2
+
+
+def sample_size(population: int, confidence: float = 0.95,
+                margin: float = 0.03, p: float = 0.5) -> int:
+    """Number of injections needed for the requested precision.
+
+    Matches Leveugle et al.: the finite-population-corrected sample size
+    for estimating a proportion.  ``population`` is the number of
+    distinct fault sites (dynamic target x bit position).
+    """
+    if population <= 0:
+        return 0
+    z = z_score(confidence)
+    e = margin
+    denom = 1 + (e * e * (population - 1)) / (z * z * p * (1 - p))
+    return min(population, math.ceil(population / denom))

@@ -1,0 +1,10 @@
+"""MiniHPC frontend: author HPC kernels in restricted Python, compile to IR.
+
+See :mod:`repro.frontend.compiler` for the language subset and
+:mod:`repro.frontend.lang` for the intrinsics available inside kernels.
+"""
+
+from repro.frontend.compiler import (CompileError, FuncSig, INTRINSIC_OPS,
+                                     ProgramBuilder)
+
+__all__ = ["CompileError", "FuncSig", "INTRINSIC_OPS", "ProgramBuilder"]

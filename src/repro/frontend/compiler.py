@@ -1,0 +1,898 @@
+"""MiniHPC -> mini-IR compiler.
+
+Kernels are restricted Python functions (see the language summary below)
+compiled to mini-IR via the :class:`ProgramBuilder`.  This substitutes
+for "C benchmark + clang" in the paper's pipeline while keeping accurate
+source-line metadata, which Table I's line ranges and the pattern
+reports rely on.
+
+Language subset
+---------------
+* scalars: ``int`` (i64), ``float`` (f64); parameters and returns are
+  annotated with ``int``/``float``;
+* global arrays/scalars declared on the builder, referenced by name;
+  multi-dim indexing is ``u[i3, i2, i1]`` (row-major);
+* local arrays via ``hxx = alloca_f64(4)`` (stack allocated, freed on
+  return — the KMEANS ``k_d`` free-pattern analog);
+* control flow: ``for i in range(...)``, ``while``, ``if``/``elif``/
+  ``else``, ``break``, ``continue``, ``return``;
+* operators: ``+ - * / // % << >> & | ^``, comparisons, ``and``/``or``
+  (short-circuit), unary ``-``/``not``, ternary ``a if c else b``;
+* intrinsics from :mod:`repro.frontend.lang` (``sqrt``, ``i32``,
+  ``emit``, ``mpi_allreduce_sum``, ...);
+* casts: ``int(x)`` (truncating f64->i64), ``float(x)``, ``i32(x)``,
+  ``f32(x)`` — the Truncation pattern's raw material;
+* Python module-level ``int``/``float`` constants referenced by kernels
+  are inlined at compile time.
+"""
+
+from __future__ import annotations
+
+import ast
+import inspect
+import textwrap
+from dataclasses import dataclass, field
+from typing import Any, Optional
+
+from repro.ir import opcodes as oc
+from repro.ir.builder import IRBuilder
+from repro.ir.function import Function
+from repro.ir.instructions import Operand, const, reg
+from repro.ir.module import Module
+from repro.ir.types import F64, I1, I32, I64, VType, promote
+from repro.ir.verifier import verify_module
+
+
+class CompileError(Exception):
+    """A kernel uses something outside the MiniHPC subset."""
+
+    def __init__(self, msg: str, node: Optional[ast.AST] = None,
+                 fn_name: str = "?"):
+        loc = f" (line {getattr(node, 'lineno', '?')})" if node is not None else ""
+        super().__init__(f"in kernel {fn_name!r}{loc}: {msg}")
+
+
+# intrinsic name -> (opcode, arity, result type, operand type or None)
+INTRINSIC_OPS: dict[str, tuple[int, int, VType, Optional[VType]]] = {
+    "sqrt": (oc.SQRT, 1, F64, F64),
+    "fabs": (oc.FABS, 1, F64, F64),
+    "exp": (oc.EXP, 1, F64, F64),
+    "log": (oc.LOG, 1, F64, F64),
+    "sin": (oc.SIN, 1, F64, F64),
+    "cos": (oc.COS, 1, F64, F64),
+    "floor": (oc.FLOOR, 1, I64, F64),
+    "pow_": (oc.POW, 2, F64, F64),
+    "fmin": (oc.FMIN, 2, F64, F64),
+    "fmax": (oc.FMAX, 2, F64, F64),
+    "imin": (oc.IMIN, 2, I64, I64),
+    "imax": (oc.IMAX, 2, I64, I64),
+    "iabs": (oc.IABS, 1, I64, I64),
+    "lshr": (oc.LSHR, 2, I64, I64),
+}
+
+_CMP_INT = {ast.Eq: oc.ICMP_EQ, ast.NotEq: oc.ICMP_NE, ast.Lt: oc.ICMP_SLT,
+            ast.LtE: oc.ICMP_SLE, ast.Gt: oc.ICMP_SGT, ast.GtE: oc.ICMP_SGE}
+_CMP_FLT = {ast.Eq: oc.FCMP_EQ, ast.NotEq: oc.FCMP_NE, ast.Lt: oc.FCMP_LT,
+            ast.LtE: oc.FCMP_LE, ast.Gt: oc.FCMP_GT, ast.GtE: oc.FCMP_GE}
+
+
+@dataclass
+class FuncSig:
+    """Declared signature of a kernel."""
+
+    name: str
+    param_types: list[VType]
+    ret: Optional[VType]
+
+
+@dataclass
+class _KernelSrc:
+    name: str
+    fndef: ast.FunctionDef
+    offset: int  # added to ast linenos to obtain absolute file lines
+    pyglobals: dict
+    sig: FuncSig = field(default=None)  # type: ignore[assignment]
+
+
+def _ann_type(node: Optional[ast.expr], fn_name: str) -> Optional[VType]:
+    if node is None:
+        return None
+    if isinstance(node, ast.Constant) and node.value is None:
+        return None
+    if isinstance(node, ast.Name):
+        mapping = {"int": I64, "float": F64}
+        if node.id in mapping:
+            return mapping[node.id]
+    raise CompileError(f"unsupported annotation {ast.dump(node)}", node, fn_name)
+
+
+class ProgramBuilder:
+    """Collects globals and kernels, then builds a verified Module."""
+
+    def __init__(self, name: str):
+        self.name = name
+        self._arrays: list[tuple[str, VType, tuple, Any]] = []
+        self._scalars: list[tuple[str, VType, Any]] = []
+        self._kernels: list[_KernelSrc] = []
+        self.sigs: dict[str, FuncSig] = {}
+        self.array_names: set[str] = set()
+        self.scalar_names: set[str] = set()
+
+    # -- globals ------------------------------------------------------------
+    def array(self, name: str, vtype: VType, shape, init=None) -> "ProgramBuilder":
+        shape = tuple(int(d) for d in (shape if isinstance(shape, (tuple, list))
+                                       else (shape,)))
+        self._arrays.append((name, vtype, shape, init))
+        self.array_names.add(name)
+        return self
+
+    def scalar(self, name: str, vtype: VType, init=None) -> "ProgramBuilder":
+        self._scalars.append((name, vtype, init))
+        self.scalar_names.add(name)
+        return self
+
+    # -- kernels ------------------------------------------------------------
+    def func(self, pyfn, name: Optional[str] = None) -> "ProgramBuilder":
+        """Register a Python-authored kernel (compiled at build()).
+
+        ``name`` overrides the registered name — used to select among
+        source-level variants of the same routine (e.g. Use Case 1's
+        transformed ``sprnvc``), keeping call sites unchanged.
+        """
+        src = textwrap.dedent(inspect.getsource(pyfn))
+        tree = ast.parse(src)
+        fndef = tree.body[0]
+        if not isinstance(fndef, ast.FunctionDef):
+            raise CompileError("expected a function definition", None,
+                               getattr(pyfn, "__name__", "?"))
+        offset = pyfn.__code__.co_firstlineno - fndef.lineno
+        self._register(fndef, offset, pyfn.__globals__, name)
+        return self
+
+    def func_source(self, source: str, pyglobals: Optional[dict] = None,
+                    line_offset: int = 0) -> "ProgramBuilder":
+        """Register kernels from a source string (used in tests)."""
+        tree = ast.parse(textwrap.dedent(source))
+        for node in tree.body:
+            if isinstance(node, ast.FunctionDef):
+                self._register(node, line_offset, pyglobals or {})
+        return self
+
+    def _register(self, fndef: ast.FunctionDef, offset: int,
+                  pyglobals: dict, name: Optional[str] = None) -> None:
+        name = name or fndef.name
+        if name in self.sigs:
+            raise CompileError("duplicate kernel", fndef, name)
+        params = []
+        for arg in fndef.args.args:
+            t = _ann_type(arg.annotation, name)
+            params.append(t if t is not None else I64)
+        ret = _ann_type(fndef.returns, name)
+        sig = FuncSig(name, params, ret)
+        self.sigs[name] = sig
+        self._kernels.append(_KernelSrc(name, fndef, offset, pyglobals, sig))
+
+    # -- build --------------------------------------------------------------
+    def build(self, entry: str = "main", verify: bool = True) -> Module:
+        module = Module(self.name)
+        for name, vtype, init in self._scalars:
+            module.add_scalar(name, vtype, init)
+        for name, vtype, shape, init in self._arrays:
+            module.add_array(name, vtype, shape, init)
+        # addresses must exist before kernels bake them into instructions
+        module.assign_layout()
+        # create all Function shells first so calls can be checked
+        for k in self._kernels:
+            fn = Function(k.name, [a.arg for a in k.fndef.args.args])
+            module.add_function(fn)
+        for k in self._kernels:
+            _KernelCompiler(self, module, k).compile()
+        module.finalize(entry)
+        if verify:
+            verify_module(module)
+        return module
+
+
+class _KernelCompiler:
+    """Compiles one kernel's AST into its Function shell."""
+
+    def __init__(self, pb: ProgramBuilder, module: Module, k: _KernelSrc):
+        self.pb = pb
+        self.module = module
+        self.k = k
+        self.fn = module.functions[k.name]
+        self.b = IRBuilder(self.fn)
+        # name -> [slot, vtype]
+        self.vars: dict[str, list] = {}
+        for (arg, vt) in zip(k.fndef.args.args, k.sig.param_types):
+            self.vars[arg.arg] = [self.fn.params.index(arg.arg), vt]
+        # name -> (base slot, element vtype)
+        self.local_arrays: dict[str, tuple[int, VType]] = {}
+        self.loop_stack: list[tuple[str, str]] = []  # (continue, break)
+        self._label_n = 0
+
+    # -- small helpers ------------------------------------------------------
+    def err(self, msg: str, node: Optional[ast.AST] = None) -> CompileError:
+        return CompileError(msg, node, self.k.name)
+
+    def label(self, prefix: str) -> str:
+        self._label_n += 1
+        return f"{prefix}{self._label_n}"
+
+    def line(self, node: ast.AST) -> int:
+        return getattr(node, "lineno", 0) + self.k.offset
+
+    def at(self, node: ast.AST) -> IRBuilder:
+        return self.b.at_line(self.line(node))
+
+    def convert(self, operand: Operand, frm: VType, to: VType,
+                node: ast.AST) -> Operand:
+        """Numeric conversion following C's implicit-conversion rules."""
+        if frm == to or (frm.is_int and to.is_int and to != I32):
+            return operand
+        b = self.at(node)
+        if to is F64 and frm.is_int:
+            if operand[0]:
+                return const(float(operand[1]))
+            return reg(b.unop(oc.SITOFP, operand, rtype=F64))
+        if to.is_int and frm is F64:
+            d = b.unop(oc.FPTOSI, operand, rtype=I64)
+            if to is I32:
+                d = b.unop(oc.TRUNC32, reg(d), rtype=I32)
+            return reg(d)
+        if to is I32 and frm.is_int:
+            return reg(b.unop(oc.TRUNC32, operand, rtype=I32))
+        raise self.err(f"cannot convert {frm} to {to}", node)
+
+    # -- compile entry -------------------------------------------------------
+    def compile(self) -> None:
+        body = self.k.fndef.body
+        self.compile_body(body)
+        if not self.b.block.terminated:
+            # a join block nothing branches to is unreachable (e.g. after
+            # an if/else where both arms return) — not a fall-off error
+            targets: set[str] = set()
+            for block in self.fn.blocks:
+                for instr in block.instrs:
+                    if instr.op == oc.BR:
+                        targets.add(instr.aux)
+                    elif instr.op == oc.CBR:
+                        targets.update(instr.aux)
+            reachable = (self.b.block is self.fn.blocks[0]
+                         or self.b.block.label in targets)
+            if self.k.sig.ret is None or not reachable:
+                self.b.ret() if self.k.sig.ret is None else self.b.ret(
+                    0 if self.k.sig.ret.is_int else 0.0)
+            else:
+                raise self.err("control may fall off the end of a kernel "
+                               "that declares a return type", self.k.fndef)
+        # unreachable join blocks still need terminators for the verifier
+        for block in self.fn.blocks:
+            if not block.terminated:
+                bb = IRBuilder(self.fn, block)
+                bb.ret(0 if self.k.sig.ret is None or self.k.sig.ret.is_int
+                       else 0.0)
+
+    def compile_body(self, stmts: list[ast.stmt]) -> None:
+        for stmt in stmts:
+            if self.b.block.terminated:
+                break  # unreachable code after return/break/continue
+            self.compile_stmt(stmt)
+
+    # -- statements -----------------------------------------------------------
+    def compile_stmt(self, node: ast.stmt) -> None:
+        if isinstance(node, ast.Assign):
+            self._stmt_assign(node)
+        elif isinstance(node, ast.AnnAssign):
+            self._stmt_annassign(node)
+        elif isinstance(node, ast.AugAssign):
+            self._stmt_augassign(node)
+        elif isinstance(node, ast.For):
+            self._stmt_for(node)
+        elif isinstance(node, ast.While):
+            self._stmt_while(node)
+        elif isinstance(node, ast.If):
+            self._stmt_if(node)
+        elif isinstance(node, ast.Return):
+            self._stmt_return(node)
+        elif isinstance(node, ast.Break):
+            if not self.loop_stack:
+                raise self.err("break outside loop", node)
+            self.at(node).br(self.loop_stack[-1][1])
+        elif isinstance(node, ast.Continue):
+            if not self.loop_stack:
+                raise self.err("continue outside loop", node)
+            self.at(node).br(self.loop_stack[-1][0])
+        elif isinstance(node, ast.Expr):
+            if isinstance(node.value, ast.Constant) and \
+                    isinstance(node.value.value, str):
+                return  # docstring
+            if not isinstance(node.value, ast.Call):
+                raise self.err("expression statements must be calls", node)
+            self._expr_call(node.value, want_value=False)
+        elif isinstance(node, ast.Pass):
+            return
+        else:
+            raise self.err(f"unsupported statement {type(node).__name__}", node)
+
+    def _stmt_assign(self, node: ast.Assign) -> None:
+        if len(node.targets) != 1:
+            raise self.err("chained assignment is not supported", node)
+        target = node.targets[0]
+        # local array allocation: x = alloca_f64(n)
+        if isinstance(node.value, ast.Call) and \
+                isinstance(node.value.func, ast.Name) and \
+                node.value.func.id in ("alloca_f64", "alloca_i64"):
+            if not isinstance(target, ast.Name):
+                raise self.err("alloca result must bind a simple name", node)
+            name = target.id
+            if name in self.vars or name in self.local_arrays:
+                raise self.err(f"{name!r} already bound; alloca names must be "
+                               "fresh", node)
+            if len(node.value.args) != 1:
+                raise self.err("alloca takes one size argument", node)
+            size_op, size_t = self.expr(node.value.args[0])
+            if not size_t.is_int:
+                raise self.err("alloca size must be an int", node)
+            dest = self.at(node).alloca(size_op)
+            elem = F64 if node.value.func.id == "alloca_f64" else I64
+            self.local_arrays[name] = (dest, elem)
+            return
+        value_op, value_t = self.expr(node.value)
+        self._assign_to(target, value_op, value_t, node)
+
+    def _stmt_annassign(self, node: ast.AnnAssign) -> None:
+        if not isinstance(node.target, ast.Name):
+            raise self.err("annotated assignment must target a name", node)
+        declared = _ann_type(node.annotation, self.k.name)
+        if node.value is None:
+            raise self.err("annotated declaration needs an initializer", node)
+        value_op, value_t = self.expr(node.value)
+        if declared is not None:
+            value_op = self.convert(value_op, value_t, declared, node)
+            value_t = declared
+        self._assign_to(node.target, value_op, value_t, node)
+
+    def _assign_to(self, target: ast.expr, value_op: Operand, value_t: VType,
+                   node: ast.stmt) -> None:
+        if isinstance(target, ast.Name):
+            self._assign_name(target.id, value_op, value_t, node)
+        elif isinstance(target, ast.Subscript):
+            addr_op, elem_t = self.address(target)
+            value_op = self.convert(value_op, value_t, elem_t, node)
+            self.at(node).store(addr_op, value_op)
+        else:
+            raise self.err("unsupported assignment target", node)
+
+    def _assign_name(self, name: str, value_op: Operand, value_t: VType,
+                     node: ast.stmt) -> None:
+        if name in self.local_arrays:
+            raise self.err(f"cannot reassign local array {name!r}", node)
+        if name in self.pb.array_names:
+            raise self.err(f"cannot assign whole array {name!r}", node)
+        if name in self.pb.scalar_names:
+            sc = self.module.scalars[name]
+            value_op = self.convert(value_op, value_t, sc.vtype, node)
+            self.at(node).store(const(sc.base), value_op)
+            return
+        if name in self.vars:
+            slot, _old_t = self.vars[name]
+            self.at(node).mov(value_op, dest=slot, rtype=value_t)
+            self.vars[name][1] = value_t
+        else:
+            slot = self.fn.new_slot()
+            self.vars[name] = [slot, value_t]
+            self.at(node).mov(value_op, dest=slot, rtype=value_t)
+
+    def _stmt_augassign(self, node: ast.AugAssign) -> None:
+        rhs_op, rhs_t = self.expr(node.value)
+        if isinstance(node.target, ast.Name):
+            cur_op, cur_t = self._expr_name(node.target)
+            res_op, res_t = self.binop(node.op, cur_op, cur_t, rhs_op, rhs_t,
+                                       node)
+            self._assign_name(node.target.id, res_op, res_t, node)
+        elif isinstance(node.target, ast.Subscript):
+            addr_op, elem_t = self.address(node.target)
+            cur = self.at(node).load(addr_op, rtype=elem_t)
+            res_op, res_t = self.binop(node.op, reg(cur), elem_t, rhs_op,
+                                       rhs_t, node)
+            res_op = self.convert(res_op, res_t, elem_t, node)
+            self.at(node).store(addr_op, res_op)
+        else:
+            raise self.err("unsupported augmented-assignment target", node)
+
+    def _stmt_for(self, node: ast.For) -> None:
+        if node.orelse:
+            raise self.err("for-else is not supported", node)
+        if not (isinstance(node.iter, ast.Call)
+                and isinstance(node.iter.func, ast.Name)
+                and node.iter.func.id == "range"):
+            raise self.err("for loops must iterate over range(...)", node)
+        if not isinstance(node.target, ast.Name):
+            raise self.err("loop variable must be a simple name", node)
+        args = node.iter.args
+        if len(args) == 1:
+            lo_op: Operand = const(0)
+            hi_node = args[0]
+            step = 1
+            step_op = None
+        elif len(args) in (2, 3):
+            lo_op, lo_t = self.expr(args[0])
+            if not lo_t.is_int:
+                raise self.err("range() bounds must be ints", node)
+            hi_node = args[1]
+            step = 1
+            step_op: Optional[Operand] = None
+            if len(args) == 3:
+                s = args[2]
+                if isinstance(s, ast.UnaryOp) and isinstance(s.op, ast.USub) \
+                        and isinstance(s.operand, ast.Constant):
+                    step = -s.operand.value
+                elif isinstance(s, ast.Constant):
+                    step = s.value
+                else:
+                    # variable step: compiled as an expression, assumed > 0
+                    # (C-style ascending loop; descending needs a constant)
+                    sop, st = self.expr(s)
+                    if not st.is_int:
+                        raise self.err("range() step must be an int", node)
+                    step_op = sop
+                if step_op is None and (not isinstance(step, int)
+                                        or step == 0):
+                    raise self.err("range() step must be a nonzero int", node)
+        else:
+            raise self.err("range() takes 1-3 arguments", node)
+        hi_op, hi_t = self.expr(hi_node)
+        if not hi_t.is_int:
+            raise self.err("range() bounds must be ints", node)
+        # materialize the bound once (Python evaluates range eagerly)
+        if not hi_op[0]:
+            hi_slot = self.at(node).mov(hi_op)
+            hi_op = reg(hi_slot)
+
+        name = node.target.id
+        if name in self.vars:
+            ivar = self.vars[name][0]
+            self.vars[name][1] = I64
+        else:
+            ivar = self.fn.new_slot()
+            self.vars[name] = [ivar, I64]
+        self.at(node).mov(lo_op, dest=ivar)
+
+        cond_l, body_l, inc_l, end_l = (self.label("for_cond"),
+                                        self.label("for_body"),
+                                        self.label("for_inc"),
+                                        self.label("for_end"))
+        b = self.at(node)
+        b.br(cond_l)
+        b.set_block(b.new_block(cond_l))
+        cmp_op = oc.ICMP_SLT if (step_op is not None or step > 0) \
+            else oc.ICMP_SGT
+        t = b.binop(cmp_op, reg(ivar), hi_op, rtype=I1)
+        b.cbr(reg(t), body_l, end_l)
+        b.set_block(b.new_block(body_l))
+        self.loop_stack.append((inc_l, end_l))
+        self.compile_body(node.body)
+        self.loop_stack.pop()
+        if not self.b.block.terminated:
+            self.b.br(inc_l)
+        b = self.b
+        b.set_block(b.new_block(inc_l))
+        b.at_line(self.line(node))
+        t2 = b.binop(oc.ADD, reg(ivar),
+                     step_op if step_op is not None else const(step),
+                     dest=ivar)
+        assert t2 == ivar
+        b.br(cond_l)
+        b.set_block(b.new_block(end_l))
+
+    def _stmt_while(self, node: ast.While) -> None:
+        if node.orelse:
+            raise self.err("while-else is not supported", node)
+        cond_l, body_l, end_l = (self.label("wh_cond"), self.label("wh_body"),
+                                 self.label("wh_end"))
+        b = self.at(node)
+        b.br(cond_l)
+        b.set_block(b.new_block(cond_l))
+        cond_op, _t = self.expr(node.test)
+        self.at(node).cbr(cond_op, body_l, end_l)
+        b = self.b
+        b.set_block(b.new_block(body_l))
+        self.loop_stack.append((cond_l, end_l))
+        self.compile_body(node.body)
+        self.loop_stack.pop()
+        if not self.b.block.terminated:
+            self.b.br(cond_l)
+        self.b.set_block(self.b.new_block(end_l))
+
+    def _stmt_if(self, node: ast.If) -> None:
+        then_l, end_l = self.label("if_then"), self.label("if_end")
+        else_l = self.label("if_else") if node.orelse else end_l
+        cond_op, _t = self.expr(node.test)
+        self.at(node).cbr(cond_op, then_l, else_l)
+        b = self.b
+        b.set_block(b.new_block(then_l))
+        self.compile_body(node.body)
+        if not self.b.block.terminated:
+            self.b.br(end_l)
+        if node.orelse:
+            self.b.set_block(self.b.new_block(else_l))
+            self.compile_body(node.orelse)
+            if not self.b.block.terminated:
+                self.b.br(end_l)
+        self.b.set_block(self.b.new_block(end_l))
+
+    def _stmt_return(self, node: ast.Return) -> None:
+        sig = self.k.sig
+        if node.value is None:
+            if sig.ret is not None:
+                raise self.err("missing return value", node)
+            self.at(node).ret()
+            return
+        value_op, value_t = self.expr(node.value)
+        if sig.ret is None:
+            raise self.err("kernel declares no return type but returns a "
+                           "value", node)
+        value_op = self.convert(value_op, value_t, sig.ret, node)
+        self.at(node).ret(value_op)
+
+    # -- expressions -----------------------------------------------------------
+    def expr(self, node: ast.expr) -> tuple[Operand, VType]:
+        if isinstance(node, ast.Constant):
+            v = node.value
+            if isinstance(v, bool):
+                return const(int(v)), I64
+            if isinstance(v, int):
+                return const(v), I64
+            if isinstance(v, float):
+                return const(v), F64
+            raise self.err(f"unsupported constant {v!r}", node)
+        if isinstance(node, ast.Name):
+            return self._expr_name(node)
+        if isinstance(node, ast.BinOp):
+            lop, lt = self.expr(node.left)
+            rop, rt = self.expr(node.right)
+            return self.binop(node.op, lop, lt, rop, rt, node)
+        if isinstance(node, ast.UnaryOp):
+            return self._expr_unary(node)
+        if isinstance(node, ast.Compare):
+            return self._expr_compare(node)
+        if isinstance(node, ast.BoolOp):
+            return self._expr_boolop(node)
+        if isinstance(node, ast.IfExp):
+            return self._expr_ifexp(node)
+        if isinstance(node, ast.Call):
+            result = self._expr_call(node, want_value=True)
+            assert result is not None
+            return result
+        if isinstance(node, ast.Subscript):
+            addr_op, elem_t = self.address(node)
+            dest = self.at(node).load(addr_op, rtype=elem_t)
+            return reg(dest), elem_t
+        raise self.err(f"unsupported expression {type(node).__name__}", node)
+
+    def _expr_name(self, node: ast.Name) -> tuple[Operand, VType]:
+        name = node.id
+        if name in self.vars:
+            slot, vt = self.vars[name]
+            return reg(slot), vt
+        if name in self.local_arrays:
+            raise self.err(f"local array {name!r} must be subscripted", node)
+        if name in self.pb.scalar_names:
+            sc = self.module.scalars[name]
+            dest = self.at(node).load(const(sc.base), rtype=sc.vtype)
+            return reg(dest), sc.vtype
+        if name in self.pb.array_names:
+            raise self.err(f"array {name!r} must be subscripted", node)
+        if name in self.k.pyglobals:
+            v = self.k.pyglobals[name]
+            if isinstance(v, bool):
+                return const(int(v)), I64
+            if isinstance(v, int):
+                return const(v), I64
+            if isinstance(v, float):
+                return const(v), F64
+            raise self.err(f"global {name!r} is not an inlinable constant",
+                           node)
+        raise self.err(f"unknown name {name!r}", node)
+
+    def binop(self, op: ast.operator, lop: Operand, lt: VType, rop: Operand,
+              rt: VType, node: ast.AST) -> tuple[Operand, VType]:
+        b = self.at(node)
+        if isinstance(op, ast.Div):
+            lop = self.convert(lop, lt, F64, node)
+            rop = self.convert(rop, rt, F64, node)
+            # constant folding keeps address math cheap but never folds
+            # division (keeps IEEE corner cases in the interpreter)
+            return reg(b.binop(oc.FDIV, lop, rop, rtype=F64)), F64
+        if isinstance(op, (ast.FloorDiv, ast.Mod)):
+            if not (lt.is_int and rt.is_int):
+                raise self.err("// and % require ints", node)
+            code = oc.SDIV if isinstance(op, ast.FloorDiv) else oc.SREM
+            return reg(b.binop(code, lop, rop, rtype=I64)), I64
+        if isinstance(op, (ast.LShift, ast.RShift, ast.BitAnd, ast.BitOr,
+                           ast.BitXor)):
+            if not (lt.is_int and rt.is_int):
+                raise self.err("bitwise ops require ints", node)
+            code = {ast.LShift: oc.SHL, ast.RShift: oc.ASHR,
+                    ast.BitAnd: oc.AND, ast.BitOr: oc.OR,
+                    ast.BitXor: oc.XOR}[type(op)]
+            return reg(b.binop(code, lop, rop, rtype=I64)), I64
+        if isinstance(op, (ast.Add, ast.Sub, ast.Mult)):
+            t = promote(lt, rt)
+            if t.is_float:
+                lop = self.convert(lop, lt, F64, node)
+                rop = self.convert(rop, rt, F64, node)
+                code = {ast.Add: oc.FADD, ast.Sub: oc.FSUB,
+                        ast.Mult: oc.FMUL}[type(op)]
+                return reg(b.binop(code, lop, rop, rtype=F64)), F64
+            # constant-fold int +/* so address arithmetic stays compact
+            if lop[0] and rop[0]:
+                lv, rv = lop[1], rop[1]
+                folded = {ast.Add: lv + rv, ast.Sub: lv - rv,
+                          ast.Mult: lv * rv}[type(op)]
+                return const(folded), I64
+            code = {ast.Add: oc.ADD, ast.Sub: oc.SUB,
+                    ast.Mult: oc.MUL}[type(op)]
+            return reg(b.binop(code, lop, rop, rtype=I64)), I64
+        if isinstance(op, ast.Pow):
+            lop = self.convert(lop, lt, F64, node)
+            rop = self.convert(rop, rt, F64, node)
+            return reg(b.binop(oc.POW, lop, rop, rtype=F64)), F64
+        raise self.err(f"unsupported operator {type(op).__name__}", node)
+
+    def _expr_unary(self, node: ast.UnaryOp) -> tuple[Operand, VType]:
+        vop, vt = self.expr(node.operand)
+        if isinstance(node.op, ast.USub):
+            if vop[0]:
+                return const(-vop[1]), vt
+            code = oc.FNEG if vt.is_float else oc.NEG
+            return reg(self.at(node).unop(code, vop, rtype=vt)), vt
+        if isinstance(node.op, ast.UAdd):
+            return vop, vt
+        if isinstance(node.op, ast.Not):
+            return reg(self.at(node).unop(oc.NOT, vop, rtype=I1)), I1
+        raise self.err(f"unsupported unary {type(node.op).__name__}", node)
+
+    def _expr_compare(self, node: ast.Compare) -> tuple[Operand, VType]:
+        if len(node.ops) != 1:
+            raise self.err("chained comparisons are not supported", node)
+        lop, lt = self.expr(node.left)
+        rop, rt = self.expr(node.comparators[0])
+        t = promote(lt, rt)
+        table = _CMP_FLT if t.is_float else _CMP_INT
+        if t.is_float:
+            lop = self.convert(lop, lt, F64, node)
+            rop = self.convert(rop, rt, F64, node)
+        code = table.get(type(node.ops[0]))
+        if code is None:
+            raise self.err(f"unsupported comparison "
+                           f"{type(node.ops[0]).__name__}", node)
+        return reg(self.at(node).binop(code, lop, rop, rtype=I1)), I1
+
+    def _expr_boolop(self, node: ast.BoolOp) -> tuple[Operand, VType]:
+        """Short-circuit and/or, lowered to blocks writing a result slot."""
+        is_and = isinstance(node.op, ast.And)
+        res = self.fn.new_slot()
+        end_l = self.label("bool_end")
+        for i, value in enumerate(node.values):
+            last = i == len(node.values) - 1
+            vop, _vt = self.expr(value)
+            b = self.at(node)
+            t = b.unop(oc.NOT, vop, rtype=I1)       # t = (v == 0)
+            t2 = b.unop(oc.NOT, reg(t), rtype=I1)   # t2 = bool(v)
+            b.mov(reg(t2), dest=res, rtype=I1)
+            if last:
+                b.br(end_l)
+            else:
+                next_l = self.label("bool_next")
+                if is_and:
+                    b.cbr(reg(t2), next_l, end_l)
+                else:
+                    b.cbr(reg(t2), end_l, next_l)
+                b.set_block(b.new_block(next_l))
+        self.b.set_block(self.b.new_block(end_l))
+        return reg(res), I1
+
+    def _expr_ifexp(self, node: ast.IfExp) -> tuple[Operand, VType]:
+        res = self.fn.new_slot()
+        then_l, else_l, end_l = (self.label("sel_then"), self.label("sel_else"),
+                                 self.label("sel_end"))
+        cond_op, _t = self.expr(node.test)
+        self.at(node).cbr(cond_op, then_l, else_l)
+        b = self.b
+        b.set_block(b.new_block(then_l))
+        top, tt = self.expr(node.body)
+        self.at(node).mov(top, dest=res, rtype=tt)
+        self.b.br(end_l)
+        self.b.set_block(self.b.new_block(else_l))
+        eop, et = self.expr(node.orelse)
+        # promote both arms to a common type
+        common = promote(tt, et)
+        eop = self.convert(eop, et, common, node)
+        self.at(node).mov(eop, dest=res, rtype=common)
+        self.b.br(end_l)
+        self.b.set_block(self.b.new_block(end_l))
+        return reg(res), common
+
+    # -- calls -------------------------------------------------------------
+    def _expr_call(self, node: ast.Call,
+                   want_value: bool) -> Optional[tuple[Operand, VType]]:
+        if not isinstance(node.func, ast.Name):
+            raise self.err("only direct calls by name are supported", node)
+        if node.keywords:
+            raise self.err("keyword arguments are not supported", node)
+        name = node.func.id
+        b = self.at(node)
+
+        if name == "emit":
+            if not node.args or not (isinstance(node.args[0], ast.Constant)
+                                     and isinstance(node.args[0].value, str)):
+                raise self.err("emit() needs a literal format string", node)
+            fmt = node.args[0].value
+            ops = [self.expr(a)[0] for a in node.args[1:]]
+            b.emit_output(fmt, *ops)
+            return None
+
+        if name in ("int", "float", "i32", "f32", "abs", "min", "max"):
+            return self._builtin_call(name, node)
+
+        if name in INTRINSIC_OPS:
+            code, arity, ret_t, op_t = INTRINSIC_OPS[name]
+            if len(node.args) != arity:
+                raise self.err(f"{name}() takes {arity} args", node)
+            ops = []
+            for a in node.args:
+                aop, at = self.expr(a)
+                if op_t is not None:
+                    aop = self.convert(aop, at, op_t, a)
+                ops.append(aop)
+            dest = b.emit(code, tuple(ops), rtype=ret_t)
+            return reg(dest), ret_t
+
+        if name.startswith("mpi_"):
+            return self._mpi_call(name, node, want_value)
+
+        if name in self.pb.sigs:
+            sig = self.pb.sigs[name]
+            if len(node.args) != len(sig.param_types):
+                raise self.err(f"{name}() takes {len(sig.param_types)} args",
+                               node)
+            ops = []
+            for a, pt in zip(node.args, sig.param_types):
+                aop, at = self.expr(a)
+                ops.append(self.convert(aop, at, pt, a))
+            if sig.ret is None:
+                b.call(name, tuple(ops), want_result=False)
+                return None
+            dest = b.call(name, tuple(ops), want_result=True, rtype=sig.ret)
+            assert dest is not None
+            return reg(dest), sig.ret
+
+        raise self.err(f"unknown function {name!r}", node)
+
+    def _builtin_call(self, name: str, node: ast.Call) -> tuple[Operand, VType]:
+        b = self.at(node)
+        if name in ("int", "float", "i32", "f32"):
+            if len(node.args) != 1:
+                raise self.err(f"{name}() takes one argument", node)
+            vop, vt = self.expr(node.args[0])
+            if name == "int":
+                if vt.is_float:
+                    return reg(b.unop(oc.FPTOSI, vop, rtype=I64)), I64
+                return vop, I64
+            if name == "float":
+                return self.convert(vop, vt, F64, node), F64
+            if name == "i32":
+                if vt.is_float:
+                    vop = reg(b.unop(oc.FPTOSI, vop, rtype=I64))
+                return reg(b.unop(oc.TRUNC32, vop, rtype=I32)), I32
+            # f32
+            vop = self.convert(vop, vt, F64, node)
+            return reg(b.unop(oc.FPTRUNC32, vop, rtype=F64)), F64
+        if name == "abs":
+            vop, vt = self.expr(node.args[0])
+            code = oc.FABS if vt.is_float else oc.IABS
+            return reg(b.unop(code, vop, rtype=vt)), vt
+        # min / max
+        if len(node.args) != 2:
+            raise self.err(f"{name}() takes exactly two arguments", node)
+        lop, lt = self.expr(node.args[0])
+        rop, rt = self.expr(node.args[1])
+        t = promote(lt, rt)
+        if t.is_float:
+            lop = self.convert(lop, lt, F64, node)
+            rop = self.convert(rop, rt, F64, node)
+            code = oc.FMIN if name == "min" else oc.FMAX
+        else:
+            code = oc.IMIN if name == "min" else oc.IMAX
+        return reg(b.binop(code, lop, rop, rtype=t)), t
+
+    def _mpi_call(self, name: str, node: ast.Call,
+                  want_value: bool) -> Optional[tuple[Operand, VType]]:
+        b = self.at(node)
+        args = [self.expr(a) for a in node.args]
+        ops = tuple(a[0] for a in args)
+        if name == "mpi_rank":
+            return reg(b.emit(oc.MPI_RANK, (), rtype=I64)), I64
+        if name == "mpi_size":
+            return reg(b.emit(oc.MPI_SIZE, (), rtype=I64)), I64
+        if name == "mpi_barrier":
+            b.emit(oc.MPI_BARRIER, ())
+            return None
+        if name == "mpi_send":
+            if len(ops) != 3:
+                raise self.err("mpi_send(dst, tag, value)", node)
+            b.emit(oc.MPI_SEND, ops)
+            return None
+        if name == "mpi_recv":
+            if len(ops) != 2:
+                raise self.err("mpi_recv(src, tag)", node)
+            return reg(b.emit(oc.MPI_RECV, ops, rtype=F64)), F64
+        if name in ("mpi_allreduce_sum", "mpi_allreduce_min",
+                    "mpi_allreduce_max"):
+            if len(ops) != 1:
+                raise self.err(f"{name}(value)", node)
+            kind = name.rsplit("_", 1)[1]
+            vt = args[0][1]
+            return reg(b.emit(oc.MPI_ALLREDUCE, ops, aux=kind, rtype=vt)), vt
+        if name == "mpi_bcast":
+            if len(ops) != 2:
+                raise self.err("mpi_bcast(root, value)", node)
+            vt = args[1][1]
+            return reg(b.emit(oc.MPI_BCAST, ops, rtype=vt)), vt
+        raise self.err(f"unknown MPI intrinsic {name!r}", node)
+
+    # -- addressing -----------------------------------------------------------
+    def address(self, node: ast.Subscript) -> tuple[Operand, VType]:
+        """Compile a subscript into a flat word address operand."""
+        if not isinstance(node.value, ast.Name):
+            raise self.err("only named arrays can be subscripted", node)
+        name = node.value.id
+        idx_nodes: list[ast.expr]
+        if isinstance(node.slice, ast.Tuple):
+            idx_nodes = list(node.slice.elts)
+        else:
+            idx_nodes = [node.slice]
+
+        if name in self.local_arrays:
+            base_slot, elem_t = self.local_arrays[name]
+            if len(idx_nodes) != 1:
+                raise self.err("local arrays are one-dimensional", node)
+            iop, it = self.expr(idx_nodes[0])
+            if not it.is_int:
+                raise self.err("array index must be an int", node)
+            addr = self._fold_add(reg(base_slot), iop, node)
+            return addr, elem_t
+
+        if name not in self.pb.array_names:
+            raise self.err(f"{name!r} is not an array", node)
+        arr = self.module.arrays[name]
+        if len(idx_nodes) != len(arr.shape):
+            raise self.err(
+                f"array {name!r} has {len(arr.shape)} dims, got "
+                f"{len(idx_nodes)} indices", node)
+        addr: Operand = const(arr.base)
+        for idx_node, stride in zip(idx_nodes, arr.strides):
+            iop, it = self.expr(idx_node)
+            if not it.is_int:
+                raise self.err("array index must be an int", node)
+            term = self._fold_mul(iop, stride, node)
+            addr = self._fold_add(addr, term, node)
+        return addr, arr.vtype
+
+    def _fold_mul(self, iop: Operand, stride: int, node: ast.AST) -> Operand:
+        if stride == 1:
+            return iop
+        if iop[0]:
+            return const(iop[1] * stride)
+        return reg(self.at(node).binop(oc.MUL, iop, const(stride)))
+
+    def _fold_add(self, a: Operand, bop: Operand, node: ast.AST) -> Operand:
+        if a[0] and bop[0]:
+            return const(a[1] + bop[1])
+        if bop[0] and bop[1] == 0:
+            return a
+        if a[0] and a[1] == 0:
+            return bop
+        return reg(self.at(node).binop(oc.ADD, a, bop))

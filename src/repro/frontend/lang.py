@@ -1,0 +1,166 @@
+"""MiniHPC language surface: intrinsics usable inside kernels.
+
+App kernels are written as restricted Python functions and compiled to
+mini-IR by :mod:`repro.frontend.compiler`.  The names below exist for
+two reasons:
+
+1. at **compile time** they are recognized by name and lowered to IR
+   opcodes (``sqrt`` -> SQRT, ``i32`` -> TRUNC32, ...);
+2. at **Python run time** they behave identically to the IR semantics,
+   so small, self-contained kernels can be executed under CPython as a
+   *differential oracle* in the test suite.
+
+Only the subset listed in ``INTRINSIC_OPS`` (plus ``emit``, ``alloca_*``
+and the MPI group, which are special-cased) may be called from kernels.
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.vm import bitops
+
+__all__ = [
+    "sqrt", "fabs", "exp", "log", "sin", "cos", "floor", "pow_", "fmin",
+    "fmax", "imin", "imax", "iabs", "i32", "f32", "lshr", "emit",
+    "alloca_f64", "alloca_i64", "mpi_rank", "mpi_size", "mpi_send",
+    "mpi_recv", "mpi_allreduce_sum", "mpi_allreduce_min",
+    "mpi_allreduce_max", "mpi_bcast", "mpi_barrier",
+]
+
+# Collected EMIT output when kernels run natively (oracle mode).
+_oracle_output: list[str] = []
+
+
+def oracle_output() -> list[str]:
+    """Drain EMIT output produced by natively-executed kernels."""
+    out = list(_oracle_output)
+    _oracle_output.clear()
+    return out
+
+
+def sqrt(x: float) -> float:
+    """IEEE sqrt: negative inputs yield NaN instead of raising."""
+    return math.sqrt(x) if x >= 0 else math.nan
+
+
+def fabs(x: float) -> float:
+    return abs(x)
+
+
+def exp(x: float) -> float:
+    try:
+        return math.exp(x)
+    except OverflowError:
+        return math.inf
+
+
+def log(x: float) -> float:
+    if x > 0:
+        return math.log(x)
+    return -math.inf if x == 0 else math.nan
+
+
+def sin(x: float) -> float:
+    return math.sin(x) if math.isfinite(x) else math.nan
+
+
+def cos(x: float) -> float:
+    return math.cos(x) if math.isfinite(x) else math.nan
+
+
+def floor(x: float) -> int:
+    return math.floor(x) if math.isfinite(x) else x
+
+
+def pow_(x: float, y: float) -> float:
+    try:
+        return math.pow(x, y)
+    except (OverflowError, ValueError):
+        return math.nan if x < 0 else math.inf
+
+
+def fmin(a: float, b: float) -> float:
+    return a if a < b else b
+
+
+def fmax(a: float, b: float) -> float:
+    return a if a > b else b
+
+
+def imin(a: int, b: int) -> int:
+    return a if a < b else b
+
+
+def imax(a: int, b: int) -> int:
+    return a if a > b else b
+
+
+def iabs(a: int) -> int:
+    return bitops.wrap64(abs(a))
+
+
+def i32(x: int) -> int:
+    """Truncate to signed 32 bits (a Truncation-pattern source)."""
+    return bitops.wrap32(int(x))
+
+
+def f32(x: float) -> float:
+    """Round through binary32 (a Truncation-pattern source)."""
+    return bitops.fptrunc32(float(x))
+
+
+def lshr(x: int, n: int) -> int:
+    """Logical shift right on the 64-bit image (a Shifting-pattern source)."""
+    return (x & bitops.MASK64) >> n
+
+
+def emit(fmt: str, *vals) -> None:
+    """Formatted program output (printf analog; Truncation-pattern sink)."""
+    _oracle_output.append(fmt % vals if vals else fmt)
+
+
+def alloca_f64(n: int) -> list:
+    """Stack-allocate ``n`` float words (oracle mode: a plain list)."""
+    return [0.0] * n
+
+
+def alloca_i64(n: int) -> list:
+    return [0] * n
+
+
+# MPI intrinsics: oracle mode behaves like a single-rank world.
+def mpi_rank() -> int:
+    return 0
+
+
+def mpi_size() -> int:
+    return 1
+
+
+def mpi_send(dst: int, tag: int, value) -> None:  # pragma: no cover
+    raise RuntimeError("mpi_send requires the simulated communicator")
+
+
+def mpi_recv(src: int, tag: int):  # pragma: no cover
+    raise RuntimeError("mpi_recv requires the simulated communicator")
+
+
+def mpi_allreduce_sum(x):
+    return x
+
+
+def mpi_allreduce_min(x):
+    return x
+
+
+def mpi_allreduce_max(x):
+    return x
+
+
+def mpi_bcast(root: int, value):
+    return value
+
+
+def mpi_barrier() -> None:
+    return None

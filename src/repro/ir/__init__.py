@@ -1,0 +1,23 @@
+"""Mini-IR: the typed register IR whose dynamic traces FlipTracker analyzes.
+
+This package is the LLVM-IR substitute (see DESIGN.md §2): a small,
+register-based instruction set with exact bit-level semantics, a module
+structure with a flat global heap, a builder, a verifier, and a printer.
+"""
+
+from repro.ir import opcodes
+from repro.ir.builder import IRBuilder
+from repro.ir.function import Block, Function, SLOT_LIMIT
+from repro.ir.instructions import Instr, const, reg
+from repro.ir.module import GlobalArray, GlobalScalar, Module
+from repro.ir.printer import format_function, format_instr, format_module
+from repro.ir.types import F64, I1, I32, I64, VType, promote
+from repro.ir.verifier import VerificationError, verify_module
+
+__all__ = [
+    "opcodes", "IRBuilder", "Block", "Function", "SLOT_LIMIT", "Instr",
+    "const", "reg", "GlobalArray", "GlobalScalar", "Module",
+    "format_function", "format_instr", "format_module",
+    "F64", "I1", "I32", "I64", "VType", "promote",
+    "VerificationError", "verify_module",
+]

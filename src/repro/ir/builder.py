@@ -1,0 +1,117 @@
+"""Convenience builder for emitting IR.
+
+Used by the MiniHPC frontend and by tests that hand-craft snippets to
+exercise individual resilience patterns (e.g. a lone shift or a
+truncating cast).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Optional, Union
+
+from repro.ir import opcodes as oc
+from repro.ir.function import Block, Function
+from repro.ir.instructions import Instr, Operand, const, reg
+from repro.ir.types import VType
+
+OperandLike = Union[Operand, int, float]
+
+
+class IRBuilder:
+    """Appends instructions to a current block of a function."""
+
+    def __init__(self, fn: Function, block: Optional[Block] = None):
+        self.fn = fn
+        self.block = block or (fn.blocks[0] if fn.blocks else fn.new_block("entry"))
+        self.line = 0
+
+    # -- positioning -------------------------------------------------------
+    def set_block(self, block: Block) -> None:
+        self.block = block
+
+    def new_block(self, label: str) -> Block:
+        return self.fn.new_block(label)
+
+    def at_line(self, line: int) -> "IRBuilder":
+        """Set the source line attached to subsequently emitted instructions."""
+        self.line = line
+        return self
+
+    # -- operand coercion ----------------------------------------------------
+    @staticmethod
+    def operand(x: OperandLike) -> Operand:
+        if isinstance(x, tuple) and len(x) == 2 and isinstance(x[0], bool):
+            return x
+        if isinstance(x, (int, float)):
+            return const(x)
+        raise TypeError(f"cannot treat {x!r} as an operand")
+
+    # -- core emit -----------------------------------------------------------
+    def emit(self, op: int, srcs: tuple = (), aux: Any = None,
+             dest: Optional[int] = None, rtype: VType = VType.I64) -> Optional[int]:
+        """Emit one instruction; allocates a dest slot when needed.
+
+        Returns the destination slot (or ``None`` for void opcodes).
+        """
+        if self.block.terminated:
+            raise ValueError(
+                f"emitting {oc.op_name(op)} after terminator in block "
+                f"{self.block.label!r}"
+            )
+        operands = tuple(self.operand(s) for s in srcs)
+        if dest is None and (op in oc.HAS_DEST):
+            dest = self.fn.new_slot()
+        self.block.append(Instr(op, dest, operands, aux, self.line, rtype))
+        return dest
+
+    # -- typed helpers ---------------------------------------------------------
+    def binop(self, op: int, a: OperandLike, b: OperandLike,
+              dest: Optional[int] = None, rtype: VType = VType.I64) -> int:
+        d = self.emit(op, (a, b), dest=dest, rtype=rtype)
+        assert d is not None
+        return d
+
+    def unop(self, op: int, a: OperandLike, dest: Optional[int] = None,
+             rtype: VType = VType.I64) -> int:
+        d = self.emit(op, (a,), dest=dest, rtype=rtype)
+        assert d is not None
+        return d
+
+    def mov(self, a: OperandLike, dest: Optional[int] = None,
+            rtype: VType = VType.I64) -> int:
+        d = self.emit(oc.MOV, (a,), dest=dest, rtype=rtype)
+        assert d is not None
+        return d
+
+    def load(self, addr: OperandLike, dest: Optional[int] = None,
+             rtype: VType = VType.F64) -> int:
+        d = self.emit(oc.LOAD, (addr,), dest=dest, rtype=rtype)
+        assert d is not None
+        return d
+
+    def store(self, addr: OperandLike, value: OperandLike) -> None:
+        self.emit(oc.STORE, (addr, value))
+
+    def alloca(self, nwords: OperandLike, dest: Optional[int] = None) -> int:
+        d = self.emit(oc.ALLOCA, (nwords,), dest=dest)
+        assert d is not None
+        return d
+
+    def br(self, label: str) -> None:
+        self.emit(oc.BR, (), aux=label)
+
+    def cbr(self, cond: OperandLike, true_label: str, false_label: str) -> None:
+        self.emit(oc.CBR, (cond,), aux=(true_label, false_label))
+
+    def call(self, callee: str, args: tuple = (), want_result: bool = True,
+             rtype: VType = VType.F64) -> Optional[int]:
+        dest = self.fn.new_slot() if want_result else None
+        self.emit(oc.CALL, tuple(args), aux=callee, dest=dest, rtype=rtype)
+        return dest
+
+    def ret(self, value: Optional[OperandLike] = None) -> None:
+        self.emit(oc.RET, () if value is None else (value,))
+
+    def emit_output(self, fmt: str, *values: OperandLike) -> None:
+        """Formatted program output (the Truncation pattern's sink)."""
+        self.emit(oc.EMIT, tuple(values), aux=fmt)

@@ -1,0 +1,82 @@
+"""Instruction and operand representation.
+
+An operand is the 2-tuple ``(is_const, payload)``:
+
+* ``(True, v)``  — an immediate constant ``v``;
+* ``(False, s)`` — virtual register slot ``s`` of the current frame.
+
+Keeping operands as plain tuples (not objects) lets the interpreter
+resolve them with one tuple unpack per operand in the hot loop, and lets
+trace records share them without copying.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Optional, Tuple
+
+from repro.ir import opcodes as oc
+from repro.ir.types import VType
+
+Operand = Tuple[bool, Any]
+
+
+def const(value) -> Operand:
+    """Immediate-constant operand."""
+    return (True, value)
+
+
+def reg(slot: int) -> Operand:
+    """Register-slot operand."""
+    return (False, slot)
+
+
+@dataclass
+class Instr:
+    """One IR instruction.
+
+    Attributes
+    ----------
+    op:
+        Opcode (int constant from :mod:`repro.ir.opcodes`).
+    dest:
+        Destination register slot, or ``None`` for opcodes without one.
+    srcs:
+        Operand tuple (see module docstring).
+    aux:
+        Opcode-specific payload: branch targets, callee name, format
+        string, allreduce op, ...
+    line:
+        Source line in the MiniHPC kernel (drives Table I's line
+        ranges and the "source location" output of Section III-D).
+    rtype:
+        Result type; used for bit-width of result-targeted injections.
+    """
+
+    op: int
+    dest: Optional[int] = None
+    srcs: Tuple[Operand, ...] = field(default_factory=tuple)
+    aux: Any = None
+    line: int = 0
+    rtype: VType = VType.I64
+
+    def __post_init__(self) -> None:
+        self.srcs = tuple(self.srcs)
+
+    @property
+    def is_terminator(self) -> bool:
+        return self.op in oc.TERMINATORS
+
+    def operand_slots(self) -> list[int]:
+        """Register slots read by this instruction."""
+        return [p for (is_const, p) in self.srcs if not is_const]
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        parts = [oc.op_name(self.op)]
+        if self.dest is not None:
+            parts.append(f"r{self.dest} <-")
+        for is_const, p in self.srcs:
+            parts.append(repr(p) if is_const else f"r{p}")
+        if self.aux is not None:
+            parts.append(f"aux={self.aux!r}")
+        return f"<{' '.join(parts)} @L{self.line}>"

@@ -1,0 +1,193 @@
+"""Modules: functions plus the global data layout.
+
+Globals live in a single flat word-addressed heap, mirroring how the
+paper treats "locations" (machine registers and memory addresses).
+``Module.finalize`` assigns every global array/scalar a base address so
+that memory locations are stable across runs — a prerequisite for
+comparing faulty and fault-free executions location-by-location.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable, Optional, Sequence
+
+from repro.ir.function import Function
+from repro.ir.types import VType
+
+
+@dataclass
+class GlobalArray:
+    """A global array (row-major, word-addressed).
+
+    ``init`` may be a scalar fill value or a flat sequence of length
+    ``size``; arrays default to type-appropriate zeros.
+    """
+
+    name: str
+    vtype: VType
+    shape: tuple[int, ...]
+    init: object = None
+    base: int = -1  # assigned at module finalize
+
+    @property
+    def size(self) -> int:
+        n = 1
+        for d in self.shape:
+            n *= d
+        return n
+
+    @property
+    def strides(self) -> tuple[int, ...]:
+        """Row-major strides in words."""
+        strides = []
+        acc = 1
+        for d in reversed(self.shape):
+            strides.append(acc)
+            acc *= d
+        return tuple(reversed(strides))
+
+    def initial_values(self) -> list:
+        if self.init is None:
+            return [self.vtype.zero()] * self.size
+        if isinstance(self.init, (int, float)):
+            v = float(self.init) if self.vtype.is_float else int(self.init)
+            return [v] * self.size
+        vals = list(self.init)
+        if len(vals) != self.size:
+            raise ValueError(
+                f"array {self.name}: init length {len(vals)} != size {self.size}"
+            )
+        return vals
+
+
+@dataclass
+class GlobalScalar:
+    """A global scalar variable stored in one heap word."""
+
+    name: str
+    vtype: VType
+    init: object = None
+    base: int = -1
+
+    def initial_value(self):
+        if self.init is None:
+            return self.vtype.zero()
+        return float(self.init) if self.vtype.is_float else int(self.init)
+
+
+class Module:
+    """A compiled program: functions, globals, and an entry point."""
+
+    # Stack allocations (ALLOCA) grow above this watermark; globals below.
+    STACK_RESERVE = 1 << 14
+
+    def __init__(self, name: str = "module"):
+        self.name = name
+        self.functions: dict[str, Function] = {}
+        self.arrays: dict[str, GlobalArray] = {}
+        self.scalars: dict[str, GlobalScalar] = {}
+        self.entry: Optional[str] = None
+        self.globals_size = 0
+        self.finalized = False
+        self._laid_out = False
+        self._addr_index: list[tuple[int, int, str, VType]] = []
+
+    # -- construction -----------------------------------------------------
+    def add_function(self, fn: Function) -> Function:
+        if fn.name in self.functions:
+            raise ValueError(f"duplicate function {fn.name!r}")
+        fn.index = len(self.functions)
+        self.functions[fn.name] = fn
+        return fn
+
+    def add_array(self, name: str, vtype: VType, shape: Sequence[int],
+                  init: object = None) -> GlobalArray:
+        if name in self.arrays or name in self.scalars:
+            raise ValueError(f"duplicate global {name!r}")
+        arr = GlobalArray(name, vtype, tuple(int(d) for d in shape), init)
+        self.arrays[name] = arr
+        return arr
+
+    def add_scalar(self, name: str, vtype: VType, init: object = None) -> GlobalScalar:
+        if name in self.arrays or name in self.scalars:
+            raise ValueError(f"duplicate global {name!r}")
+        sc = GlobalScalar(name, vtype, init)
+        self.scalars[name] = sc
+        return sc
+
+    # -- finalization ------------------------------------------------------
+    def assign_layout(self) -> None:
+        """Assign base addresses to all globals (idempotent).
+
+        Must run before any code references ``GlobalArray.base`` — the
+        frontend bakes addresses into instructions at compile time.
+        """
+        if self._laid_out:
+            return
+        addr = 0
+        for sc in self.scalars.values():
+            sc.base = addr
+            addr += 1
+        for arr in self.arrays.values():
+            arr.base = addr
+            self._addr_index.append((addr, addr + arr.size, arr.name, arr.vtype))
+            addr += arr.size
+        self.globals_size = addr
+        self._laid_out = True
+
+    def finalize(self, entry: str = "main") -> "Module":
+        """Lay out globals, flatten functions, resolve calls."""
+        if self.finalized:
+            return self
+        if entry not in self.functions:
+            raise ValueError(f"entry function {entry!r} not defined")
+        self.entry = entry
+        self.assign_layout()
+        for fn in self.functions.values():
+            fn.finalize()
+        for fn in self.functions.values():
+            fn.patch_calls(self.functions)
+        self.finalized = True
+        return self
+
+    @property
+    def stack_base(self) -> int:
+        """First address available to ALLOCA."""
+        return self.globals_size
+
+    def initial_memory(self, stack_words: int = STACK_RESERVE) -> list:
+        """Fresh heap image: globals initialized, stack zeroed."""
+        if not self.finalized:
+            raise RuntimeError("finalize() the module before materializing memory")
+        mem: list = [0] * (self.globals_size + stack_words)
+        for sc in self.scalars.values():
+            mem[sc.base] = sc.initial_value()
+        for arr in self.arrays.values():
+            vals = arr.initial_values()
+            mem[arr.base:arr.base + arr.size] = vals
+        return mem
+
+    # -- address introspection ----------------------------------------------
+    def addr_info(self, addr: int) -> tuple[str, VType, int] | None:
+        """Map a heap address to ``(global name, type, flat index)``.
+
+        Returns ``None`` for stack addresses (ALLOCA blocks) — those are
+        typed by the store that writes them.
+        """
+        for sc in self.scalars.values():
+            if sc.base == addr:
+                return (sc.name, sc.vtype, 0)
+        for lo, hi, name, vtype in self._addr_index:
+            if lo <= addr < hi:
+                return (name, vtype, addr - lo)
+        return None
+
+    def array(self, name: str) -> GlobalArray:
+        return self.arrays[name]
+
+    def scalar_addr(self, name: str) -> int:
+        return self.scalars[name].base
+
+    def function_names(self) -> Iterable[str]:
+        return self.functions.keys()

@@ -1,0 +1,156 @@
+"""Opcode definitions for the mini-IR.
+
+The IR plays the role LLVM IR plays in the paper: a typed, register-based
+instruction set whose *dynamic* execution stream is what FlipTracker
+analyzes.  Opcodes are plain module-level ints so the interpreter's hot
+loop can compare them without attribute lookups.
+
+Categories (used by the pattern detectors):
+
+* ``SHIFT_OPS``    — the Shifting pattern (Pattern 4) watches these.
+* ``TRUNC_OPS``    — the Truncation pattern (Pattern 5) watches these
+                     plus ``EMIT`` with a precision-limited format.
+* ``CMP_OPS``      — the Conditional Statement pattern (Pattern 3).
+* ``ACCUM_CANDIDATES`` — add ops eligible for Repeated Additions
+                     (Pattern 2) when destination == one source location.
+"""
+
+from __future__ import annotations
+
+# --- integer arithmetic (two's-complement, 64-bit wrap) ---
+ADD = 0
+SUB = 1
+MUL = 2
+SDIV = 3  # C semantics: truncation toward zero; divide-by-zero traps
+SREM = 4
+
+# --- floating point (IEEE-754 double) ---
+FADD = 5
+FSUB = 6
+FMUL = 7
+FDIV = 8  # IEEE: x/0 -> +-inf, 0/0 -> nan (no trap)
+
+# --- bitwise ---
+SHL = 9
+LSHR = 10  # logical shift right (on the 64-bit two's-complement image)
+ASHR = 11  # arithmetic shift right
+AND = 12
+OR = 13
+XOR = 14
+
+# --- comparisons (produce i1: 0 or 1) ---
+ICMP_EQ = 15
+ICMP_NE = 16
+ICMP_SLT = 17
+ICMP_SLE = 18
+ICMP_SGT = 19
+ICMP_SGE = 20
+FCMP_EQ = 21
+FCMP_NE = 22
+FCMP_LT = 23
+FCMP_LE = 24
+FCMP_GT = 25
+FCMP_GE = 26
+
+# --- unary ---
+NEG = 27  # integer negate
+FNEG = 28
+NOT = 29  # logical not of i1/i64 (x == 0)
+
+# --- conversions ---
+SITOFP = 30  # i64 -> f64
+FPTOSI = 31  # f64 -> i64, truncation toward zero (Truncation pattern)
+TRUNC32 = 32  # i64 -> i32 wrap (Truncation pattern)
+FPTRUNC32 = 33  # f64 -> f32 rounding, value kept as the nearest f32 (Truncation)
+
+# --- memory ---
+LOAD = 34  # dest <- mem[src0]; src0 is a word address
+STORE = 35  # mem[src0] <- src1
+ALLOCA = 36  # dest <- base address of a fresh stack block of src0 words
+
+# --- control ---
+BR = 37  # aux: target pc (label before finalize)
+CBR = 38  # src0: i1 condition; aux: (true pc, false pc)
+CALL = 39  # aux: callee name -> Function after finalize; srcs: args
+RET = 40  # optional src0: return value
+
+# --- math intrinsics ---
+SQRT = 41
+FABS = 42
+EXP = 43
+LOG = 44
+SIN = 45
+COS = 46
+FLOOR = 47
+POW = 48
+FMIN = 49
+FMAX = 50
+IMIN = 51
+IMAX = 52
+IABS = 53
+
+# --- misc ---
+MOV = 54  # register copy / constant materialization
+EMIT = 55  # formatted program output; aux: printf-style format string
+NOP = 56
+
+# --- simulated MPI (cooperative scheduler "syscalls") ---
+MPI_RANK = 57
+MPI_SIZE = 58
+MPI_SEND = 59  # srcs: dest rank, tag, value
+MPI_RECV = 60  # srcs: src rank (-1 = ANY_SOURCE), tag; dest: value
+MPI_ALLREDUCE = 61  # srcs: value; aux: "sum"|"min"|"max"; dest: reduced
+MPI_BCAST = 62  # srcs: root rank, value; dest: broadcast value
+MPI_BARRIER = 63
+
+NUM_OPS = 64
+
+OP_NAMES = {
+    v: k
+    for k, v in globals().items()
+    if isinstance(v, int) and k.isupper() and k not in ("NUM_OPS",)
+}
+
+# Category sets consumed by verifier, printer and pattern detectors.
+INT_BINOPS = frozenset({ADD, SUB, MUL, SDIV, SREM})
+FLOAT_BINOPS = frozenset({FADD, FSUB, FMUL, FDIV})
+BIT_BINOPS = frozenset({SHL, LSHR, ASHR, AND, OR, XOR})
+SHIFT_OPS = frozenset({SHL, LSHR, ASHR})
+ICMP_OPS = frozenset({ICMP_EQ, ICMP_NE, ICMP_SLT, ICMP_SLE, ICMP_SGT, ICMP_SGE})
+FCMP_OPS = frozenset({FCMP_EQ, FCMP_NE, FCMP_LT, FCMP_LE, FCMP_GT, FCMP_GE})
+CMP_OPS = ICMP_OPS | FCMP_OPS
+UNARY_OPS = frozenset({NEG, FNEG, NOT, SITOFP, FPTOSI, TRUNC32, FPTRUNC32,
+                       SQRT, FABS, EXP, LOG, SIN, COS, FLOOR, IABS})
+TRUNC_OPS = frozenset({FPTOSI, TRUNC32, FPTRUNC32})
+MATH2_OPS = frozenset({POW, FMIN, FMAX, IMIN, IMAX})
+MEM_OPS = frozenset({LOAD, STORE, ALLOCA})
+TERMINATORS = frozenset({BR, CBR, RET})
+MPI_OPS = frozenset({MPI_RANK, MPI_SIZE, MPI_SEND, MPI_RECV, MPI_ALLREDUCE,
+                     MPI_BCAST, MPI_BARRIER})
+ACCUM_CANDIDATES = frozenset({FADD, ADD})
+
+# Expected operand counts (None = variable).  The verifier enforces these.
+ARITY: dict[int, int | None] = {}
+for _op in INT_BINOPS | FLOAT_BINOPS | BIT_BINOPS | CMP_OPS | MATH2_OPS:
+    ARITY[_op] = 2
+for _op in UNARY_OPS:
+    ARITY[_op] = 1
+ARITY.update({
+    LOAD: 1, STORE: 2, ALLOCA: 1, BR: 0, CBR: 1, CALL: None, RET: None,
+    MOV: 1, EMIT: None, NOP: 0, MPI_RANK: 0, MPI_SIZE: 0, MPI_SEND: 3,
+    MPI_RECV: 2, MPI_ALLREDUCE: 1, MPI_BCAST: 2, MPI_BARRIER: 0,
+})
+
+# Which opcodes define a register destination.
+HAS_DEST = (
+    INT_BINOPS | FLOAT_BINOPS | BIT_BINOPS | CMP_OPS | UNARY_OPS | MATH2_OPS
+    | frozenset({LOAD, ALLOCA, MOV, MPI_RANK, MPI_SIZE, MPI_RECV,
+                 MPI_ALLREDUCE, MPI_BCAST})
+)
+# CALL's destination is optional (procedures vs functions).
+OPTIONAL_DEST = frozenset({CALL})
+
+
+def op_name(op: int) -> str:
+    """Human-readable opcode name, for the printer and error messages."""
+    return OP_NAMES.get(op, f"op{op}")

@@ -1,0 +1,59 @@
+"""Textual IR dump, the analog of ``llvm-dis`` output.
+
+Useful when inspecting what the MiniHPC frontend generated for a kernel,
+and when reporting pattern source locations back to the user.
+"""
+
+from __future__ import annotations
+
+from repro.ir import opcodes as oc
+from repro.ir.function import Function
+from repro.ir.instructions import Instr
+from repro.ir.module import Module
+
+
+def format_operand(operand) -> str:
+    is_const, payload = operand
+    return repr(payload) if is_const else f"%r{payload}"
+
+
+def format_instr(instr: Instr) -> str:
+    name = oc.op_name(instr.op).lower()
+    parts = []
+    if instr.dest is not None:
+        parts.append(f"%r{instr.dest} =")
+    parts.append(name)
+    parts.extend(format_operand(s) for s in instr.srcs)
+    if instr.op == oc.BR:
+        parts.append(f"-> {instr.aux}")
+    elif instr.op == oc.CBR:
+        parts.append(f"-> {instr.aux[0]} | {instr.aux[1]}")
+    elif instr.op == oc.CALL:
+        callee = instr.aux if isinstance(instr.aux, str) else instr.aux.name
+        parts.append(f"@{callee}")
+    elif instr.op == oc.EMIT:
+        parts.append(repr(instr.aux))
+    return " ".join(parts) + f"  ; line {instr.line}"
+
+
+def format_function(fn: Function) -> str:
+    lines = [f"def @{fn.name}({', '.join(fn.params)})  ; slots={fn.nslots}"]
+    for block in fn.blocks:
+        lines.append(f"{block.label}:")
+        for instr in block.instrs:
+            lines.append("    " + format_instr(instr))
+    return "\n".join(lines)
+
+
+def format_module(module: Module) -> str:
+    lines = [f"; module {module.name}"]
+    for sc in module.scalars.values():
+        lines.append(f"global {sc.vtype.value} @{sc.name} = {sc.initial_value()!r}"
+                     f"  ; addr {sc.base}")
+    for arr in module.arrays.values():
+        lines.append(f"global {arr.vtype.value} @{arr.name}{list(arr.shape)}"
+                     f"  ; base {arr.base}")
+    for fn in module.functions.values():
+        lines.append("")
+        lines.append(format_function(fn))
+    return "\n".join(lines)

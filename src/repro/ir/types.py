@@ -1,0 +1,71 @@
+"""Value types of the mini-IR.
+
+The interpreter stores Python ``int``/``float`` values; types matter in
+exactly two places, both central to the paper's methodology:
+
+* **bit-flip width** — a fault into an I32 array element flips one of 32
+  bits, an F64 element one of 64 (Section IV-C's injection sites);
+* **frontend promotion rules** — mixed int/float expressions insert
+  ``SITOFP`` like a C compiler would, so conversion instructions (the
+  Truncation pattern's raw material) appear where they would in the
+  original benchmarks.
+"""
+
+from __future__ import annotations
+
+from enum import Enum
+
+
+class VType(Enum):
+    """Scalar value types supported by the IR."""
+
+    I1 = "i1"
+    I32 = "i32"
+    I64 = "i64"
+    F64 = "f64"
+
+    @property
+    def bits(self) -> int:
+        """Width used when enumerating bit-flip sites for this type."""
+        return {"i1": 1, "i32": 32, "i64": 64, "f64": 64}[self.value]
+
+    @property
+    def is_float(self) -> bool:
+        return self is VType.F64
+
+    @property
+    def is_int(self) -> bool:
+        return self in (VType.I1, VType.I32, VType.I64)
+
+    def zero(self):
+        """The type's zero value (initial memory contents)."""
+        return 0.0 if self.is_float else 0
+
+
+# Short aliases used throughout app kernels and the frontend.
+I1 = VType.I1
+I32 = VType.I32
+I64 = VType.I64
+F64 = VType.F64
+
+
+def promote(a: VType, b: VType) -> VType:
+    """C-like usual arithmetic conversion for two operand types."""
+    if F64 in (a, b):
+        return F64
+    if I64 in (a, b):
+        return I64
+    if I32 in (a, b):
+        return I32
+    return I1
+
+
+def python_type_of(value) -> VType:
+    """Infer the IR type of a Python constant (used by the frontend)."""
+    if isinstance(value, bool):
+        return I1
+    if isinstance(value, int):
+        return I64
+    if isinstance(value, float):
+        return F64
+    raise TypeError(f"unsupported constant type {type(value).__name__}")

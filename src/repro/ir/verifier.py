@@ -1,0 +1,96 @@
+"""Static module verification.
+
+Catches malformed IR before it reaches the interpreter — mirroring what
+``llvm::verifyModule`` does for the paper's toolchain.  Verification
+errors are programming errors in the frontend or in hand-built tests,
+never runtime fault effects, so they raise :class:`VerificationError`
+rather than participating in the fault-manifestation taxonomy.
+"""
+
+from __future__ import annotations
+
+from repro.ir import opcodes as oc
+from repro.ir.function import SLOT_LIMIT, Function
+from repro.ir.module import Module
+
+
+class VerificationError(Exception):
+    """The module is structurally invalid."""
+
+
+def verify_function(fn: Function, module: Module) -> list[str]:
+    """Return a list of problems found in ``fn`` (empty when valid)."""
+    problems: list[str] = []
+    where = f"function {fn.name!r}"
+    if fn.nslots > SLOT_LIMIT:
+        problems.append(f"{where}: {fn.nslots} slots exceeds limit {SLOT_LIMIT}")
+    if not fn.blocks:
+        problems.append(f"{where}: has no blocks")
+        return problems
+
+    labels = {b.label for b in fn.blocks}
+    for block in fn.blocks:
+        bwhere = f"{where}, block {block.label!r}"
+        if not block.instrs:
+            problems.append(f"{bwhere}: empty block")
+            continue
+        for i, instr in enumerate(block.instrs):
+            iwhere = f"{bwhere}, instr {i} ({oc.op_name(instr.op)})"
+            if instr.is_terminator and i != len(block.instrs) - 1:
+                problems.append(f"{iwhere}: terminator not at block end")
+            expected = oc.ARITY.get(instr.op)
+            if expected is not None and len(instr.srcs) != expected:
+                problems.append(
+                    f"{iwhere}: arity {len(instr.srcs)} != expected {expected}"
+                )
+            if instr.op in oc.HAS_DEST and instr.dest is None:
+                problems.append(f"{iwhere}: missing destination")
+            if instr.op not in oc.HAS_DEST and instr.op not in oc.OPTIONAL_DEST \
+                    and instr.dest is not None:
+                problems.append(f"{iwhere}: unexpected destination")
+            if instr.dest is not None and not (0 <= instr.dest < fn.nslots):
+                problems.append(f"{iwhere}: dest slot {instr.dest} out of range")
+            for is_const, payload in instr.srcs:
+                if not is_const and not (0 <= payload < fn.nslots):
+                    problems.append(f"{iwhere}: src slot {payload} out of range")
+                if is_const and not isinstance(payload, (int, float)):
+                    problems.append(
+                        f"{iwhere}: constant {payload!r} is not a scalar"
+                    )
+            if instr.op == oc.BR and instr.aux not in labels:
+                problems.append(f"{iwhere}: unknown branch target {instr.aux!r}")
+            if instr.op == oc.CBR:
+                for target in instr.aux:
+                    if target not in labels:
+                        problems.append(
+                            f"{iwhere}: unknown branch target {target!r}"
+                        )
+            if instr.op == oc.CALL:
+                callee = instr.aux if isinstance(instr.aux, str) else instr.aux.name
+                target = module.functions.get(callee)
+                if target is None:
+                    problems.append(f"{iwhere}: undefined callee {callee!r}")
+                elif len(instr.srcs) != len(target.params):
+                    problems.append(
+                        f"{iwhere}: {len(instr.srcs)} args for "
+                        f"{callee}/{len(target.params)}"
+                    )
+            if instr.op == oc.EMIT and not isinstance(instr.aux, str):
+                problems.append(f"{iwhere}: EMIT needs a format-string aux")
+        if not block.terminated:
+            problems.append(f"{bwhere}: missing terminator")
+    return problems
+
+
+def verify_module(module: Module) -> None:
+    """Raise :class:`VerificationError` when the module is malformed."""
+    problems: list[str] = []
+    if not module.functions:
+        problems.append("module has no functions")
+    for fn in module.functions.values():
+        problems.extend(verify_function(fn, module))
+    for arr in module.arrays.values():
+        if arr.size <= 0:
+            problems.append(f"array {arr.name!r} has non-positive size")
+    if problems:
+        raise VerificationError("; ".join(problems[:20]))

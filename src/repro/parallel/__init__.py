@@ -1,0 +1,8 @@
+"""Simulated MPI: communicator, rank scheduler, tracing overhead."""
+
+from repro.parallel.comm import ANY_SOURCE, SimComm
+from repro.parallel.overhead import OverheadRow, measure_tracing_overhead
+from repro.parallel.scheduler import JobResult, RankScheduler
+
+__all__ = ["ANY_SOURCE", "SimComm", "OverheadRow",
+           "measure_tracing_overhead", "JobResult", "RankScheduler"]

@@ -1,0 +1,141 @@
+"""Simulated MPI communicator for cooperative SPMD execution.
+
+Substitutes the MPI runtime in the paper's pipeline (Section IV-A).
+Each rank is an :class:`~repro.vm.interp.Interpreter` stepped by the
+:class:`~repro.parallel.scheduler.RankScheduler`; blocking operations
+raise :class:`~repro.vm.errors.WouldBlock` and are retried on the
+rank's next quantum.
+
+Collectives use per-rank epoch counters (one per collective type): a
+rank's k-th allreduce joins allreduce-epoch k, which is sound for the
+SPMD programs studied (every rank issues collectives in the same
+order).  Point-to-point ``recv`` supports ``ANY_SOURCE`` (src = -1)
+with **record-and-replay** of match choices — the paper's answer to
+MPI nondeterminism (Section V-B): a fault-free run records its message
+matching, and faulty runs replay it so region instances align.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Any, Optional
+
+from repro.util.rng import DeterministicRNG
+from repro.vm.errors import WouldBlock
+
+ANY_SOURCE = -1
+
+
+@dataclass
+class _Epoch:
+    contribs: dict[int, Any] = field(default_factory=dict)
+    taken: set[int] = field(default_factory=set)
+    result: Any = None
+    ready: bool = False
+
+
+class SimComm:
+    """One communicator shared by all ranks of a simulated job."""
+
+    def __init__(self, size: int, seed: int = 0,
+                 replay_log: Optional[list] = None):
+        if size < 1:
+            raise ValueError("communicator size must be >= 1")
+        self.size = size
+        self.rng = DeterministicRNG(seed)
+        # mailbox per destination rank: deque of (src, tag, value)
+        self.mailboxes: list[deque] = [deque() for _ in range(size)]
+        # collective state, keyed by (kind, epoch)
+        self._epochs: dict[tuple[str, int], _Epoch] = {}
+        self._rank_epoch: dict[tuple[str, int], int] = {}
+        #: recorded ANY_SOURCE match choices (src order), for replay
+        self.match_log: list[int] = []
+        self._replay = deque(replay_log) if replay_log is not None else None
+        self.messages_sent = 0
+
+    # -- point-to-point -------------------------------------------------------
+    def send(self, rank: int, dst: int, tag: int, value) -> None:
+        if not 0 <= dst < self.size:
+            raise ValueError(f"send to invalid rank {dst}")
+        self.mailboxes[dst].append((rank, tag, value))
+        self.messages_sent += 1
+
+    def recv(self, rank: int, src: int, tag: int):
+        """Matching receive; raises WouldBlock when nothing matches."""
+        box = self.mailboxes[rank]
+        candidates = [i for i, (s, t, _v) in enumerate(box)
+                      if (src == ANY_SOURCE or s == src) and t == tag]
+        if src == ANY_SOURCE and self._replay is not None:
+            # replay mode: block until the recorded source's message is
+            # available, so matching reproduces the recorded run exactly
+            if not self._replay:
+                raise WouldBlock()
+            want = self._replay[0]
+            matching = [i for i in candidates if box[i][0] == want]
+            if not matching:
+                raise WouldBlock()
+            self._replay.popleft()
+            pick = matching[0]
+        elif not candidates:
+            raise WouldBlock()
+        elif src == ANY_SOURCE and len(candidates) > 1:
+            pick = candidates[self.rng.randint(0, len(candidates) - 1)]
+        else:
+            pick = candidates[0]
+        s, _t, value = box[pick]
+        del box[pick]
+        if src == ANY_SOURCE:
+            self.match_log.append(s)
+        return value
+
+    # -- collectives ------------------------------------------------------------
+    def _join(self, kind: str, rank: int, value) -> _Epoch:
+        e = self._rank_epoch.setdefault((kind, rank), 0)
+        epoch = self._epochs.setdefault((kind, e), _Epoch())
+        if rank not in epoch.contribs:
+            epoch.contribs[rank] = value
+        return epoch
+
+    def _take(self, kind: str, rank: int, epoch: _Epoch):
+        e = self._rank_epoch[(kind, rank)]
+        epoch.taken.add(rank)
+        self._rank_epoch[(kind, rank)] = e + 1
+        if len(epoch.taken) == self.size:
+            del self._epochs[(kind, e)]
+        return epoch.result
+
+    def allreduce(self, rank: int, value, op: str = "sum"):
+        epoch = self._join("allreduce", rank, value)
+        if len(epoch.contribs) < self.size:
+            raise WouldBlock()
+        if not epoch.ready:
+            vals = [epoch.contribs[r] for r in range(self.size)]
+            if op == "sum":
+                acc = vals[0]
+                for v in vals[1:]:
+                    acc = acc + v
+            elif op == "min":
+                acc = min(vals)
+            elif op == "max":
+                acc = max(vals)
+            else:
+                raise ValueError(f"unknown allreduce op {op!r}")
+            epoch.result = acc
+            epoch.ready = True
+        return self._take("allreduce", rank, epoch)
+
+    def barrier(self, rank: int) -> None:
+        epoch = self._join("barrier", rank, None)
+        if len(epoch.contribs) < self.size:
+            raise WouldBlock()
+        epoch.ready = True
+        self._take("barrier", rank, epoch)
+
+    def bcast(self, rank: int, root: int, value):
+        epoch = self._join("bcast", rank, value if rank == root else None)
+        if root not in epoch.contribs:
+            raise WouldBlock()
+        epoch.result = epoch.contribs[root]
+        epoch.ready = True
+        return self._take("bcast", rank, epoch)

@@ -1,0 +1,84 @@
+"""MiniHPC demo programs exercising the simulated MPI runtime.
+
+Used by the unit tests and the ``examples/mpi_tracing.py`` example:
+
+* ``build_dot_product`` — rank-partitioned dot product combined with
+  ``mpi_allreduce_sum`` (the collective path);
+* ``build_ring`` — token passed around a ring with send/recv (the
+  point-to-point path);
+* ``build_any_source`` — rank 0 gathers from ANY_SOURCE, which is the
+  nondeterministic matching that record-and-replay makes reproducible.
+"""
+
+from __future__ import annotations
+
+from repro.frontend import ProgramBuilder
+from repro.ir.module import Module
+from repro.ir.types import F64, I64
+
+N_LOCAL = 32
+
+
+def build_dot_product() -> Module:
+    pb = ProgramBuilder("mpi_dot")
+    pb.array("xs", F64, (N_LOCAL,))
+    pb.array("ys", F64, (N_LOCAL,))
+    pb.scalar("result", F64, 0.0)
+    pb.func_source('''
+def main() -> None:
+    me = mpi_rank()
+    for i in range(NL):
+        xs[i] = float(me * NL + i)
+        ys[i] = 2.0
+    local = 0.0
+    for i in range(NL):
+        local = local + xs[i] * ys[i]
+    total = mpi_allreduce_sum(local)
+    result = total
+    if me == 0:
+        emit("dot %12.6e", total)
+    mpi_barrier()
+''', pyglobals={"NL": N_LOCAL})
+    return pb.build(entry="main")
+
+
+def build_ring(hops: int = 3) -> Module:
+    pb = ProgramBuilder("mpi_ring")
+    pb.scalar("token_out", F64, 0.0)
+    pb.func_source('''
+def main() -> None:
+    me = mpi_rank()
+    np = mpi_size()
+    token = 0.0
+    if me == 0:
+        token = 1.0
+        mpi_send((me + 1) % np, 7, token)
+    for h in range(HOPS):
+        token = mpi_recv((me - 1 + np) % np, 7)
+        token = token + 1.0
+        mpi_send((me + 1) % np, 7, token)
+    token_out = token
+    mpi_barrier()
+''', pyglobals={"HOPS": hops})
+    return pb.build(entry="main")
+
+
+def build_any_source() -> Module:
+    """Rank 0 sums contributions received with ANY_SOURCE matching."""
+    pb = ProgramBuilder("mpi_any")
+    pb.scalar("gathered", F64, 0.0)
+    pb.func_source('''
+def main() -> None:
+    me = mpi_rank()
+    np = mpi_size()
+    if me == 0:
+        acc = 0.0
+        for k in range(np - 1):
+            acc = acc + mpi_recv(-1, 3)
+        gathered = acc
+        emit("sum %12.6e", acc)
+    else:
+        mpi_send(0, 3, float(me) * 10.0)
+    mpi_barrier()
+''')
+    return pb.build(entry="main")

@@ -1,0 +1,85 @@
+"""Cooperative rank scheduler for simulated SPMD jobs.
+
+Round-robins interpreter quanta across ranks; a blocked rank (waiting
+on a message or collective) is skipped until another rank makes
+progress.  A full pass with every unfinished rank blocked is a
+deadlock, reported as :class:`MPIDeadlock`.
+
+Determinism: the visit order is either fixed round-robin (default) or
+a seeded shuffle per pass (``shuffle_seed``), which perturbs message
+arrival orders — the nondeterminism source that the communicator's
+record-and-replay mechanism compensates for.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Optional
+
+from repro.ir.module import Module
+from repro.parallel.comm import SimComm
+from repro.util.rng import DeterministicRNG
+from repro.vm.errors import MPIDeadlock
+from repro.vm.interp import Interpreter
+
+
+@dataclass
+class JobResult:
+    """Per-rank interpreters plus job-level bookkeeping."""
+
+    ranks: list[Interpreter]
+    passes: int
+    comm: SimComm
+    trace_paths: list[str] = field(default_factory=list)
+
+    def rank_outputs(self) -> list[str]:
+        return [r.output_text for r in self.ranks]
+
+
+class RankScheduler:
+    """Runs ``nranks`` copies of a module as one simulated MPI job."""
+
+    def __init__(self, module_factory: Callable[[int], Module], nranks: int,
+                 *, trace: bool = False, quantum: int = 2000,
+                 comm_seed: int = 0, shuffle_seed: Optional[int] = None,
+                 replay_log: Optional[list] = None,
+                 max_instr: int = 50_000_000):
+        """``module_factory(rank)`` builds (or shares) the rank's module.
+
+        Sharing one finalized module across ranks is safe — modules are
+        immutable after finalize; each interpreter owns its memory.
+        """
+        self.nranks = nranks
+        self.comm = SimComm(nranks, seed=comm_seed, replay_log=replay_log)
+        self.quantum = quantum
+        self.shuffle_rng = (DeterministicRNG(shuffle_seed)
+                            if shuffle_seed is not None else None)
+        self.ranks = [Interpreter(module_factory(r), trace=trace,
+                                  comm=self.comm, rank=r,
+                                  max_instr=max_instr)
+                      for r in range(nranks)]
+
+    def run(self, entry: str = "main", args: tuple = ()) -> JobResult:
+        for interp in self.ranks:
+            interp.start(entry, args)
+        unfinished = set(range(self.nranks))
+        passes = 0
+        while unfinished:
+            passes += 1
+            order = sorted(unfinished)
+            if self.shuffle_rng is not None:
+                self.shuffle_rng.shuffle(order)
+            progressed = False
+            for r in order:
+                interp = self.ranks[r]
+                before = interp.dyn_count
+                status = interp.step(self.quantum)
+                if interp.dyn_count > before:
+                    progressed = True
+                if status == "done":
+                    unfinished.discard(r)
+            if not progressed and unfinished:
+                blocked = sorted(unfinished)
+                raise MPIDeadlock(
+                    f"all unfinished ranks blocked: {blocked}")
+        return JobResult(self.ranks, passes, self.comm)

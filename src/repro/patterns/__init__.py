@@ -1,0 +1,16 @@
+"""The six resilience computation patterns: detectors and rates."""
+
+from repro.patterns.base import PATTERN_TITLES, PATTERNS, PatternInstance
+from repro.patterns.detect import (detect_all, detect_dcl,
+                                   detect_masking_patterns,
+                                   detect_overwriting,
+                                   detect_repeated_additions,
+                                   find_accumulator_updates, region_locator)
+from repro.patterns.rates import PatternRates, compute_rates
+
+__all__ = [
+    "PATTERN_TITLES", "PATTERNS", "PatternInstance", "detect_all",
+    "detect_dcl", "detect_masking_patterns", "detect_overwriting",
+    "detect_repeated_additions", "find_accumulator_updates",
+    "region_locator", "PatternRates", "compute_rates",
+]

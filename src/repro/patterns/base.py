@@ -1,0 +1,57 @@
+"""Resilience computation patterns — names and instance records.
+
+The six patterns of Section VI:
+
+====== =====================  ==========================================
+DCL    Dead Corrupted          corrupted values are aggregated into fewer
+       Locations               locations and the corrupted temporaries die
+RA     Repeated Additions      an accumulator repeatedly adds clean values
+                               onto a corrupted location, amortizing the
+                               error (error magnitude shrinks over time)
+CS     Conditional Statements  a comparison with corrupted input lands on
+                               the same side as the fault-free run
+SHIFT  Shifting                a shift drops the corrupted bits
+TRUNC  Truncation              a narrowing conversion or formatted output
+                               cuts the corrupted bits off
+DO     Data Overwriting        a clean value overwrites a corrupted one
+====== =====================  ==========================================
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+#: canonical pattern order (matches Table I's columns)
+PATTERNS = ("DCL", "RA", "CS", "SHIFT", "TRUNC", "DO")
+
+PATTERN_TITLES = {
+    "DCL": "Dead Corrupted Locations",
+    "RA": "Repeated Additions",
+    "CS": "Conditional Statements",
+    "SHIFT": "Shifting",
+    "TRUNC": "Data Truncation",
+    "DO": "Data Overwriting",
+}
+
+
+@dataclass
+class PatternInstance:
+    """One detected occurrence of a pattern in a faulty run."""
+
+    pattern: str
+    time: int                 # dynamic instruction index (faulty trace)
+    line: int                 # source line (MiniHPC kernel file)
+    fn: int
+    pc: int
+    loc: Optional[int] = None
+    region: Optional[str] = None
+    details: dict = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        if self.pattern not in PATTERNS:
+            raise ValueError(f"unknown pattern {self.pattern!r}")
+
+    def source_location(self) -> str:
+        """`file:line`-style pointer handed to the user (Section III-D)."""
+        return f"line {self.line} (fn #{self.fn}, pc {self.pc})"

@@ -1,0 +1,110 @@
+"""Pattern rates: the prediction-model features of Table IV.
+
+From a *fault-free* trace we count, per pattern, how many dynamic
+pattern-instance sites the program exercises, normalized by the total
+number of dynamic instructions ("to enable a fair comparison between
+applications with different number of instructions", Section VII-B):
+
+* ``condition``          — comparison instructions (CS sites);
+* ``shift``              — shift instructions (Shifting sites);
+* ``truncation``         — narrowing conversions + precision-limited
+                           formatted output (Truncation sites);
+* ``dead_location``      — value definitions never read before being
+                           overwritten or abandoned (DCL raw material);
+* ``repeated_addition``  — accumulator updates ``x = x + ...`` (RA sites);
+* ``overwrite``          — definitions that overwrite an already-written
+                           location (DO sites).
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass
+
+from repro.ir import opcodes as oc
+from repro.patterns.detect import find_accumulator_updates
+from repro.trace.events import R_DLOC, R_FN, R_OP, R_PC, R_SLOCS, Trace
+
+#: formats that drop mantissa precision when printed (e.g. "%12.6e")
+_PRECISION_FMT = re.compile(r"%[-0-9.]*[efg]")
+
+
+@dataclass
+class PatternRates:
+    """Per-pattern dynamic site rates for one program."""
+
+    condition: float
+    shift: float
+    truncation: float
+    dead_location: float
+    repeated_addition: float
+    overwrite: float
+    total_instructions: int
+
+    #: feature order used by the prediction model (matches Table IV)
+    FIELDS = ("condition", "shift", "truncation", "dead_location",
+              "repeated_addition", "overwrite")
+
+    def vector(self) -> list[float]:
+        return [getattr(self, f) for f in self.FIELDS]
+
+
+def compute_rates(ff: Trace) -> PatternRates:
+    """Count pattern sites in a fault-free trace (see module docstring)."""
+    records = ff.records
+    n = len(records)
+    if n == 0:
+        return PatternRates(0, 0, 0, 0, 0, 0, 0)
+
+    # EMIT records carry the *formatted output* in R_EXTRA; the format
+    # string itself lives on the static instruction, so look it up there
+    fns = list(ff.module.functions.values())
+
+    conditions = shifts = truncs = defs = overwrites = 0
+    written: set[int] = set()
+    for rec in records:
+        op = rec[R_OP]
+        if op in oc.CMP_OPS:
+            conditions += 1
+        elif op in oc.SHIFT_OPS:
+            shifts += 1
+        elif op in oc.TRUNC_OPS:
+            truncs += 1
+        elif op == oc.EMIT:
+            # only precision-limited float formats can cut corruption off
+            fmt = fns[rec[R_FN]].instr_at[rec[R_PC]].aux
+            if isinstance(fmt, str) and _PRECISION_FMT.search(fmt):
+                truncs += 1
+        dloc = rec[R_DLOC]
+        if dloc is not None:
+            defs += 1
+            if dloc in written:
+                overwrites += 1
+            else:
+                written.add(dloc)
+
+    # dead definitions: one backward pass over location fates
+    dead = 0
+    future: dict[int, bool] = {}  # loc -> next touch is a read?
+    for t in range(n - 1, -1, -1):
+        rec = records[t]
+        dloc = rec[R_DLOC]
+        if dloc is not None:
+            if not future.get(dloc, False):
+                dead += 1
+            future[dloc] = False
+        for sloc in rec[R_SLOCS]:
+            if sloc is not None:
+                future[sloc] = True
+
+    accum_updates = sum(len(v) for v in find_accumulator_updates(ff).values())
+
+    return PatternRates(
+        condition=conditions / n,
+        shift=shifts / n,
+        truncation=truncs / n,
+        dead_location=dead / n,
+        repeated_addition=accum_updates / n,
+        overwrite=overwrites / n,
+        total_instructions=n,
+    )

@@ -1,0 +1,10 @@
+"""Use Case 2: predicting application resilience from pattern rates."""
+
+from repro.prediction.bayes import BayesianLinearRegression
+from repro.prediction.model import (PredictionRow, feature_importance,
+                                    feature_matrix, fit_all, loo_validate,
+                                    mean_error_excluding)
+
+__all__ = ["BayesianLinearRegression", "PredictionRow",
+           "feature_importance", "feature_matrix", "fit_all",
+           "loo_validate", "mean_error_excluding"]

@@ -1,0 +1,15 @@
+"""Code-region model: CFG, loops, regions, instance splitting, region IO."""
+
+from repro.regions.cfg import CFG, Loop
+from repro.regions.model import (CodeRegion, RegionInstance, RegionModel,
+                                 detect_regions, find_main_loop,
+                                 main_loop_iterations, split_instances,
+                                 split_iterations)
+from repro.regions.variables import RegionIO, classify_io, location_width
+
+__all__ = [
+    "CFG", "Loop", "CodeRegion", "RegionInstance", "RegionModel",
+    "detect_regions", "find_main_loop", "main_loop_iterations",
+    "split_instances", "split_iterations", "RegionIO", "classify_io",
+    "location_width",
+]

@@ -1,0 +1,186 @@
+"""Control-flow graph, dominators, and natural-loop detection.
+
+The paper's application model (Section III-A) delineates code regions by
+*loop structures*.  We recover those structures from the IR instead of
+trusting the frontend, so hand-built IR and compiled kernels are treated
+uniformly: build the CFG of a finalized function, compute dominators
+(iterative Cooper–Harvey–Kennedy), then identify natural loops from back
+edges and nest them.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+from repro.ir import opcodes as oc
+from repro.ir.function import Function
+
+
+@dataclass
+class Loop:
+    """A natural loop: header block plus its body block set."""
+
+    header: str
+    blocks: set[str] = field(default_factory=set)
+    parent: Optional["Loop"] = None
+    children: list["Loop"] = field(default_factory=list)
+    depth: int = 0
+
+    def contains(self, other: "Loop") -> bool:
+        return other is not self and other.header in self.blocks \
+            and other.blocks <= self.blocks
+
+    def __repr__(self) -> str:  # pragma: no cover
+        return f"<Loop {self.header} depth={self.depth} |{len(self.blocks)}|>"
+
+
+class CFG:
+    """Control-flow graph of one finalized function."""
+
+    def __init__(self, fn: Function):
+        if not fn.finalized:
+            raise ValueError("CFG requires a finalized function")
+        self.fn = fn
+        self.labels = [b.label for b in fn.blocks]
+        self.entry = self.labels[0]
+        self.succ: dict[str, list[str]] = {lb: [] for lb in self.labels}
+        self.pred: dict[str, list[str]] = {lb: [] for lb in self.labels}
+        pc_to_label = {pc: lb for lb, pc in fn.pc_of_block.items()}
+        for block in fn.blocks:
+            term = block.instrs[-1]
+            if term.op == oc.BR:
+                targets = [term.aux if isinstance(term.aux, str)
+                           else pc_to_label[term.aux]]
+            elif term.op == oc.CBR:
+                aux = term.aux
+                targets = [aux[0] if isinstance(aux[0], str)
+                           else pc_to_label[aux[0]],
+                           aux[1] if isinstance(aux[1], str)
+                           else pc_to_label[aux[1]]]
+            else:  # RET
+                targets = []
+            for t in targets:
+                if t not in self.succ[block.label]:
+                    self.succ[block.label].append(t)
+                    self.pred[t].append(block.label)
+        self._idom: Optional[dict[str, Optional[str]]] = None
+        self._rpo: Optional[list[str]] = None
+
+    # -- orderings -----------------------------------------------------------
+    def reverse_postorder(self) -> list[str]:
+        if self._rpo is not None:
+            return self._rpo
+        seen: set[str] = set()
+        order: list[str] = []
+
+        # iterative DFS (kernels can nest deeply; avoid recursion limits)
+        stack: list[tuple[str, int]] = [(self.entry, 0)]
+        seen.add(self.entry)
+        while stack:
+            node, idx = stack[-1]
+            succs = self.succ[node]
+            if idx < len(succs):
+                stack[-1] = (node, idx + 1)
+                nxt = succs[idx]
+                if nxt not in seen:
+                    seen.add(nxt)
+                    stack.append((nxt, 0))
+            else:
+                stack.pop()
+                order.append(node)
+        order.reverse()
+        self._rpo = order
+        return order
+
+    @property
+    def reachable(self) -> set[str]:
+        return set(self.reverse_postorder())
+
+    # -- dominators ------------------------------------------------------------
+    def idoms(self) -> dict[str, Optional[str]]:
+        """Immediate dominators (Cooper–Harvey–Kennedy iteration)."""
+        if self._idom is not None:
+            return self._idom
+        rpo = self.reverse_postorder()
+        number = {lb: i for i, lb in enumerate(rpo)}
+        idom: dict[str, Optional[str]] = {lb: None for lb in rpo}
+        idom[self.entry] = self.entry
+
+        def intersect(a: str, b: str) -> str:
+            while a != b:
+                while number[a] > number[b]:
+                    a = idom[a]  # type: ignore[assignment]
+                while number[b] > number[a]:
+                    b = idom[b]  # type: ignore[assignment]
+            return a
+
+        changed = True
+        while changed:
+            changed = False
+            for lb in rpo:
+                if lb == self.entry:
+                    continue
+                preds = [p for p in self.pred[lb]
+                         if p in number and idom[p] is not None]
+                if not preds:
+                    continue
+                new = preds[0]
+                for p in preds[1:]:
+                    new = intersect(new, p)
+                if idom[lb] != new:
+                    idom[lb] = new
+                    changed = True
+        idom[self.entry] = None
+        self._idom = idom
+        return idom
+
+    def dominates(self, a: str, b: str) -> bool:
+        """True when block ``a`` dominates block ``b``."""
+        idom = self.idoms()
+        node: Optional[str] = b
+        while node is not None:
+            if node == a:
+                return True
+            node = idom[node]
+        return False
+
+    # -- loops -------------------------------------------------------------------
+    def natural_loops(self) -> list[Loop]:
+        """All natural loops, with nesting (parents/children/depth) set.
+
+        Loops sharing a header are merged, per the classic definition.
+        Returned in program order of their headers (by pc).
+        """
+        reachable = self.reachable
+        back_edges = [(u, h) for u in reachable for h in self.succ[u]
+                      if self.dominates(h, u)]
+        by_header: dict[str, Loop] = {}
+        for u, h in back_edges:
+            loop = by_header.setdefault(h, Loop(h, {h}))
+            # walk predecessors from u back to h
+            stack = [u]
+            while stack:
+                node = stack.pop()
+                if node in loop.blocks:
+                    continue
+                loop.blocks.add(node)
+                stack.extend(p for p in self.pred[node] if p in reachable)
+        loops = sorted(by_header.values(),
+                       key=lambda lp: self.fn.pc_of_block[lp.header])
+        # nesting: the parent is the smallest strictly-containing loop
+        for inner in loops:
+            candidates = [outer for outer in loops if outer.contains(inner)]
+            if candidates:
+                parent = min(candidates, key=lambda lp: len(lp.blocks))
+                inner.parent = parent
+                parent.children.append(inner)
+        for loop in loops:
+            depth, p = 0, loop.parent
+            while p is not None:
+                depth, p = depth + 1, p.parent
+            loop.depth = depth
+        return loops
+
+    def top_level_loops(self) -> list[Loop]:
+        return [lp for lp in self.natural_loops() if lp.parent is None]

@@ -1,0 +1,100 @@
+"""Input / output / internal classification of region-instance locations.
+
+Paper Section III-A: *input variables* are declared outside the region
+and referenced inside it; *output variables* are written inside and read
+after it; everything else the region touches is *internal*.  At the
+trace level "variables" are locations, so for an instance spanning
+records [a, b):
+
+* **inputs**    — locations read in [a, b) before any write in [a, b);
+* **outputs**   — locations written in [a, b) whose last write is read
+  again at or after ``b`` before being overwritten;
+* **internals** — locations written in [a, b) that are not outputs.
+
+These sets drive isolated fault injection (inject into inputs/internals
+of an instance) and the Case-1/Case-2 region fault-tolerance checks.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Sequence
+
+from repro.ir import opcodes as oc
+from repro.ir.function import SLOT_LIMIT
+from repro.regions.model import RegionInstance
+from repro.trace.events import R_DLOC, R_DVAL, R_EXTRA, R_OP, R_SLOCS, R_SVALS
+from repro.trace.index import INF, TraceIndex
+
+
+@dataclass
+class RegionIO:
+    """Classified locations of one region instance, with boundary values."""
+
+    instance: RegionInstance
+    inputs: dict[int, object] = field(default_factory=dict)   # loc -> entry value
+    outputs: dict[int, object] = field(default_factory=dict)  # loc -> exit value
+    internals: set[int] = field(default_factory=set)
+    written: set[int] = field(default_factory=set)
+
+    def summary(self) -> str:
+        return (f"{self.instance.region.name}#{self.instance.index}: "
+                f"{len(self.inputs)} in / {len(self.outputs)} out / "
+                f"{len(self.internals)} internal")
+
+
+def classify_io(records: Sequence, index: TraceIndex,
+                instance: RegionInstance) -> RegionIO:
+    """Classify locations for one instance (see module docstring)."""
+    a, b = instance.start, instance.end
+    io = RegionIO(instance)
+    inputs = io.inputs
+    written: set[int] = set()
+    last_val: dict[int, object] = {}
+
+    for t in range(a, b):
+        rec = records[t]
+        slocs = rec[R_SLOCS]
+        if slocs:
+            svals = rec[R_SVALS]
+            for sloc, sval in zip(slocs, svals):
+                if sloc is not None and sloc not in written \
+                        and sloc not in inputs:
+                    inputs[sloc] = sval
+        dloc = rec[R_DLOC]
+        if dloc is not None:
+            written.add(dloc)
+            last_val[dloc] = rec[R_DVAL]
+        if rec[R_OP] == oc.CALL:
+            uid, _callee, nargs = rec[R_EXTRA]
+            rbase = -(uid * SLOT_LIMIT) - 1
+            svals = rec[R_SVALS]
+            for i in range(nargs):
+                written.add(rbase - i)
+                last_val[rbase - i] = svals[i] if i < len(svals) else None
+
+    io.written = written
+    for loc in written:
+        next_w = index.next_write_at_or_after(loc, b)
+        horizon = next_w if next_w != INF else index.n
+        if index.has_read_in(loc, b, horizon):
+            io.outputs[loc] = last_val.get(loc)
+        else:
+            io.internals.add(loc)
+    return io
+
+
+def location_width(module, loc: int, value) -> int:
+    """Bit width for injections into ``loc`` holding ``value``.
+
+    Memory locations take the declared element width of the global they
+    belong to (i32 arrays -> 32); registers and stack words default to
+    the value's natural width (binary64 for floats, 64 for ints).
+    """
+    if loc >= 0:
+        info = module.addr_info(loc)
+        if info is not None:
+            _name, vtype, _idx = info
+            if vtype.is_int:
+                return vtype.bits
+    return 64

@@ -1,0 +1,7 @@
+"""Use Case 1: applying resilience patterns to improve applications."""
+
+from repro.transforms.usecase1 import (TABLE3_VARIANTS, UseCase1Row,
+                                       evaluate_variant, run_table3)
+
+__all__ = ["TABLE3_VARIANTS", "UseCase1Row", "evaluate_variant",
+           "run_table3"]

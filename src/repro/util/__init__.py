@@ -1,0 +1,11 @@
+"""Shared utilities: deterministic RNG, NPB-style randlc, timers, tables.
+
+These helpers are deliberately dependency-light; everything above them
+(IR, VM, analyses) builds on this layer.
+"""
+
+from repro.util.rng import DeterministicRNG, Randlc
+from repro.util.tables import format_table
+from repro.util.timing import Timer
+
+__all__ = ["DeterministicRNG", "Randlc", "format_table", "Timer"]

@@ -1,0 +1,103 @@
+"""Deterministic random number generation.
+
+Two generators live here:
+
+* :class:`DeterministicRNG` — a thin, explicitly-seeded wrapper around
+  :class:`random.Random` used by every stochastic component of the
+  framework (fault-site sampling, scheduler tie-breaks).  Requiring a
+  seed at construction keeps campaigns replayable, which the paper's
+  methodology depends on (faulty runs must align with a matching
+  fault-free run).
+
+* :class:`Randlc` — the NAS Parallel Benchmarks ``randlc`` linear
+  congruential generator (x_{k+1} = a*x_k mod 2^46).  CG's ``sprnvc``
+  uses it to build the sparse matrix; we also implement it *inside* the
+  MiniHPC kernels so it is traced, but this Python twin serves as the
+  oracle in tests.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Iterable, Sequence, TypeVar
+
+T = TypeVar("T")
+
+# NPB randlc modulus constants: arithmetic is done mod 2^46 using two
+# 23-bit halves so it stays exact in doubles (as the original Fortran/C
+# code does).  In Python we can use exact ints and divide at the end.
+_R46 = 2 ** 46
+_NPB_A = 1220703125.0  # 5^13, the multiplier NPB uses for CG
+
+
+class Randlc:
+    """NPB ``randlc`` pseudo-random stream over (0, 1).
+
+    Parameters
+    ----------
+    seed:
+        Initial value of the LCG state ``x`` (NPB uses 314159265).
+    a:
+        Multiplier (NPB uses 5^13 = 1220703125).
+    """
+
+    def __init__(self, seed: float = 314159265.0, a: float = _NPB_A) -> None:
+        self.x = int(seed) % _R46
+        self.a = int(a) % _R46
+
+    def next(self) -> float:
+        """Advance the stream and return a double in (0, 1)."""
+        self.x = (self.a * self.x) % _R46
+        return self.x / _R46
+
+    def skip(self, n: int) -> None:
+        """Advance the stream by ``n`` draws without returning them."""
+        # Exponentiation by squaring on the multiplier, mod 2^46.
+        self.x = (pow(self.a, n, _R46) * self.x) % _R46
+
+
+class DeterministicRNG:
+    """Explicitly seeded RNG facade used across the framework.
+
+    All randomness in campaigns and schedulers flows through instances
+    of this class so that any experiment can be replayed bit-for-bit
+    from its seed.
+    """
+
+    def __init__(self, seed: int) -> None:
+        if not isinstance(seed, int):
+            raise TypeError(f"seed must be an int, got {type(seed).__name__}")
+        self.seed = seed
+        self._rng = random.Random(seed)
+
+    def randint(self, lo: int, hi: int) -> int:
+        """Uniform integer in [lo, hi] inclusive."""
+        return self._rng.randint(lo, hi)
+
+    def choice(self, seq: Sequence[T]) -> T:
+        return self._rng.choice(seq)
+
+    def sample(self, seq: Sequence[T], k: int) -> list[T]:
+        return self._rng.sample(seq, k)
+
+    def shuffle(self, seq: list) -> None:
+        self._rng.shuffle(seq)
+
+    def random(self) -> float:
+        return self._rng.random()
+
+    def spawn(self, stream_id: int) -> "DeterministicRNG":
+        """Derive an independent child generator.
+
+        Campaign workers each get ``rng.spawn(i)`` so parallel execution
+        order cannot change which faults are injected.
+        """
+        return DeterministicRNG(hash((self.seed, stream_id)) & 0x7FFFFFFF)
+
+
+def stable_choice(items: Iterable[T], rng: DeterministicRNG) -> T:
+    """Pick an element after sorting, so set iteration order is immaterial."""
+    ordered = sorted(items)  # type: ignore[type-var]
+    if not ordered:
+        raise ValueError("stable_choice on empty iterable")
+    return ordered[rng.randint(0, len(ordered) - 1)]

@@ -1,0 +1,60 @@
+"""Plain-text table rendering for benchmark reports.
+
+Every experiment regenerator (``benchmarks/``) prints its rows through
+:func:`format_table` so that the reproduction artifacts look uniform and
+diff cleanly against EXPERIMENTS.md.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Sequence
+
+
+def _cell(value: Any, floatfmt: str) -> str:
+    if isinstance(value, bool):
+        return "YES" if value else "NO"
+    if isinstance(value, float):
+        return format(value, floatfmt)
+    return str(value)
+
+
+def format_table(
+    headers: Sequence[str],
+    rows: Sequence[Sequence[Any]],
+    floatfmt: str = ".3f",
+    title: str | None = None,
+) -> str:
+    """Render ``rows`` as an aligned ASCII table.
+
+    Parameters
+    ----------
+    headers:
+        Column names.
+    rows:
+        Row data; floats are formatted with ``floatfmt``, bools as
+        YES/NO (matching the paper's Table I).
+    title:
+        Optional caption printed above the table.
+    """
+    str_rows = [[_cell(v, floatfmt) for v in row] for row in rows]
+    for row in str_rows:
+        if len(row) != len(headers):
+            raise ValueError(
+                f"row width {len(row)} does not match header width {len(headers)}"
+            )
+    widths = [len(h) for h in headers]
+    for row in str_rows:
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+
+    def fmt_row(cells: Sequence[str]) -> str:
+        return " | ".join(c.ljust(w) for c, w in zip(cells, widths))
+
+    sep = "-+-".join("-" * w for w in widths)
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append(fmt_row(headers))
+    lines.append(sep)
+    lines.extend(fmt_row(r) for r in str_rows)
+    return "\n".join(lines)

@@ -1,0 +1,46 @@
+"""Wall-clock timing helpers used by the overhead experiments (Fig. 4)."""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+
+
+@dataclass
+class Timer:
+    """Context-manager stopwatch accumulating elapsed wall time.
+
+    Example
+    -------
+    >>> t = Timer()
+    >>> with t:
+    ...     _ = sum(range(1000))
+    >>> t.elapsed >= 0.0
+    True
+    """
+
+    elapsed: float = 0.0
+    laps: list[float] = field(default_factory=list)
+    _start: float = field(default=0.0, repr=False)
+
+    def __enter__(self) -> "Timer":
+        self._start = time.perf_counter()
+        return self
+
+    def __exit__(self, *exc) -> None:
+        lap = time.perf_counter() - self._start
+        self.elapsed += lap
+        self.laps.append(lap)
+
+    @property
+    def mean(self) -> float:
+        """Mean lap time; 0.0 when no laps have been recorded."""
+        return self.elapsed / len(self.laps) if self.laps else 0.0
+
+    @property
+    def min(self) -> float:
+        return min(self.laps) if self.laps else 0.0
+
+    @property
+    def max(self) -> float:
+        return max(self.laps) if self.laps else 0.0

@@ -1,0 +1,19 @@
+"""Terminal visualization of the paper's figures.
+
+Pure-text (no matplotlib offline) renderings:
+
+* :func:`line_chart` — the ACL-count-vs-dynamic-instruction curves of
+  Figs. 3 and 7;
+* :func:`bar_chart` / :func:`grouped_bars` — the per-region and
+  per-iteration success-rate bars of Figs. 5 and 6;
+* :func:`acl_chart` — convenience wrapper rendering an
+  :class:`~repro.acl.table.ACLResult` with injection/divergence
+  markers;
+* :func:`sparkline` — one-line summaries for tables and logs.
+"""
+
+from repro.viz.ascii import (acl_chart, bar_chart, grouped_bars, line_chart,
+                             sparkline)
+
+__all__ = ["line_chart", "bar_chart", "grouped_bars", "acl_chart",
+           "sparkline"]

@@ -1,0 +1,146 @@
+"""ASCII chart primitives (terminal renderings of the paper's figures)."""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+_BLOCKS = " ▁▂▃▄▅▆▇█"
+
+
+def sparkline(values: Sequence[float], width: int = 60) -> str:
+    """One-line block-character profile of a series.
+
+    Long series are max-pooled into ``width`` buckets (peaks matter for
+    ACL curves; mean-pooling would hide one-instruction spikes).
+    """
+    values = list(values)
+    if not values:
+        return ""
+    if len(values) > width:
+        step = len(values) / width
+        pooled = []
+        for i in range(width):
+            lo = int(i * step)
+            hi = max(lo + 1, int((i + 1) * step))
+            pooled.append(max(values[lo:hi]))
+        values = pooled
+    vmax = max(values)
+    vmin = min(0.0, min(values))
+    span = (vmax - vmin) or 1.0
+    out = []
+    for v in values:
+        idx = int((v - vmin) / span * (len(_BLOCKS) - 1))
+        out.append(_BLOCKS[idx])
+    return "".join(out)
+
+
+def line_chart(values: Sequence[float], *, height: int = 12,
+               width: int = 72, title: str = "",
+               x_label: str = "", y_label: str = "",
+               markers: Optional[dict[int, str]] = None) -> str:
+    """Multi-row ASCII line chart (the Fig. 7 ACL curve shape).
+
+    ``markers`` maps series indices to single characters drawn in a
+    marker row beneath the x axis (e.g. the injection point and the
+    control-flow divergence point).
+    """
+    values = [float(v) for v in values]
+    if not values:
+        return "(empty series)"
+    n = len(values)
+    # pool to width columns, max-pooling to preserve spikes
+    if n > width:
+        step = n / width
+        cols = []
+        for i in range(width):
+            lo = int(i * step)
+            hi = max(lo + 1, int((i + 1) * step))
+            cols.append(max(values[lo:hi]))
+    else:
+        width = n
+        cols = values
+    vmax = max(cols)
+    vmin = min(0.0, min(cols))
+    span = (vmax - vmin) or 1.0
+    rows = []
+    if title:
+        rows.append(title)
+    for r in range(height, 0, -1):
+        threshold = vmin + span * (r - 0.5) / height
+        line = "".join("█" if c >= threshold else " " for c in cols)
+        ylab = f"{vmin + span * r / height:>8.3g} |" if r in (height, 1) \
+            else "         |"
+        rows.append(ylab + line)
+    rows.append("         +" + "-" * width)
+    if markers:
+        marker_line = [" "] * width
+        for idx, ch in markers.items():
+            col = min(width - 1, int(idx / max(1, n) * width))
+            marker_line[col] = ch[0]
+        rows.append("          " + "".join(marker_line))
+    if x_label:
+        rows.append(f"          {x_label:^{width}}")
+    if y_label:
+        rows.insert(1 if title else 0, f"  [{y_label}]")
+    return "\n".join(rows)
+
+
+def bar_chart(labels: Sequence[str], values: Sequence[float], *,
+              width: int = 40, title: str = "",
+              vmax: Optional[float] = None,
+              fmt: str = "{:.3f}") -> str:
+    """Horizontal bar chart (one Fig. 5 panel)."""
+    if len(labels) != len(values):
+        raise ValueError("labels and values length mismatch")
+    if not labels:
+        return "(no bars)"
+    top = vmax if vmax is not None else (max(values) or 1.0)
+    label_w = max(len(str(x)) for x in labels)
+    rows = [title] if title else []
+    for label, v in zip(labels, values):
+        filled = int(round(min(v, top) / top * width)) if top else 0
+        bar = "█" * filled + "·" * (width - filled)
+        rows.append(f"{str(label):>{label_w}} |{bar}| " + fmt.format(v))
+    return "\n".join(rows)
+
+
+def grouped_bars(labels: Sequence[str],
+                 series: dict[str, Sequence[float]], *,
+                 width: int = 40, title: str = "",
+                 vmax: float = 1.0) -> str:
+    """Grouped horizontal bars (Fig. 5/6's internal-vs-input pairs)."""
+    rows = [title] if title else []
+    label_w = max((len(str(x)) for x in labels), default=0)
+    key_w = max((len(k) for k in series), default=0)
+    glyphs = "█▓▒░"
+    for i, label in enumerate(labels):
+        for j, (key, vals) in enumerate(series.items()):
+            v = vals[i]
+            filled = int(round(min(v, vmax) / vmax * width)) if vmax else 0
+            g = glyphs[j % len(glyphs)]
+            bar = g * filled + "·" * (width - filled)
+            name = str(label) if j == 0 else ""
+            rows.append(f"{name:>{label_w}} {key:>{key_w}} |{bar}| {v:.3f}")
+        rows.append("")
+    if rows and not rows[-1]:
+        rows.pop()
+    return "\n".join(rows)
+
+
+def acl_chart(acl, *, height: int = 12, width: int = 72,
+              title: str = "") -> str:
+    """Render an ACLResult: count curve + injection/divergence markers.
+
+    The marker row flags ``^`` at the first corruption birth and ``D``
+    at the control-flow divergence point (when any) — the annotations
+    of the paper's Fig. 7.
+    """
+    markers: dict[int, str] = {}
+    if acl.births:
+        markers[acl.births[0][1]] = "^"
+    if acl.divergence is not None:
+        markers[acl.divergence] = "D"
+    t = title or "alive corrupted locations vs dynamic instructions"
+    return line_chart(acl.counts, height=height, width=width, title=t,
+                      x_label="dynamic instructions",
+                      y_label="ACL count", markers=markers)

@@ -1,0 +1,15 @@
+"""Execution engine: interpreter, bit-level fault ops, runtime errors."""
+
+from repro.vm.bitops import (bits_to_float64, flip_float64, flip_int,
+                             flip_value, float64_to_bits)
+from repro.vm.errors import (ComputeTrap, HangError, MemoryFault, MPIDeadlock,
+                             VMError, WouldBlock)
+from repro.vm.fault import FaultPlan, FaultRecord
+from repro.vm.interp import Frame, Interpreter, decode_reg_loc, reg_loc
+
+__all__ = [
+    "bits_to_float64", "flip_float64", "flip_int", "flip_value",
+    "float64_to_bits", "ComputeTrap", "HangError", "MemoryFault",
+    "MPIDeadlock", "VMError", "WouldBlock", "FaultPlan", "FaultRecord",
+    "Frame", "Interpreter", "decode_reg_loc", "reg_loc",
+]

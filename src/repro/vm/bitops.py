@@ -1,0 +1,135 @@
+"""Bit-level value manipulation for single-bit-flip fault injection.
+
+The paper's fault model (Section II-A) is a single bit flip in a value
+that is visible to the application — a register or a memory word.  For
+floats we flip a bit of the IEEE-754 double image; for integers we flip
+a bit of the two's-complement image at the declared width (i32 arrays
+get 32-bit flips, i64 values 64-bit flips), matching how FlipIt selects
+injection widths from LLVM types.
+"""
+
+from __future__ import annotations
+
+import math
+import struct
+
+MASK32 = (1 << 32) - 1
+MASK64 = (1 << 64) - 1
+INT64_MIN = -(1 << 63)
+
+
+def float64_to_bits(value: float) -> int:
+    """IEEE-754 binary64 image of ``value`` as an unsigned int."""
+    return struct.unpack("<Q", struct.pack("<d", value))[0]
+
+
+def bits_to_float64(bits: int) -> float:
+    """Inverse of :func:`float64_to_bits`."""
+    return struct.unpack("<d", struct.pack("<Q", bits & MASK64))[0]
+
+
+def flip_float64(value: float, bit: int) -> float:
+    """Flip one bit of the binary64 image.
+
+    Bit 0 is the least-significant mantissa bit, bit 52..62 the exponent,
+    bit 63 the sign — the numbering Table II's "40th bit" uses.
+    """
+    if not 0 <= bit < 64:
+        raise ValueError(f"bit {bit} out of range for binary64")
+    return bits_to_float64(float64_to_bits(value) ^ (1 << bit))
+
+
+def to_signed(image: int, width: int) -> int:
+    """Interpret an unsigned ``width``-bit image as two's complement."""
+    image &= (1 << width) - 1
+    if image >= 1 << (width - 1):
+        image -= 1 << width
+    return image
+
+
+def to_unsigned(value: int, width: int) -> int:
+    """``width``-bit two's-complement image of a signed int."""
+    return value & ((1 << width) - 1)
+
+
+def flip_int(value: int, bit: int, width: int = 64) -> int:
+    """Flip one bit of the two's-complement image at ``width`` bits."""
+    if not 0 <= bit < width:
+        raise ValueError(f"bit {bit} out of range for i{width}")
+    if width == 1:
+        # boolean (i1) values toggle 0 <-> 1 rather than 0 <-> -1
+        return value ^ 1
+    return to_signed(to_unsigned(value, width) ^ (1 << bit), width)
+
+
+def flip_value(value, bit: int, width: int = 64):
+    """Flip one bit of a runtime value, preserving its Python type."""
+    if isinstance(value, float):
+        return flip_float64(value, bit)
+    if isinstance(value, int):
+        return flip_int(value, bit, width)
+    raise TypeError(f"cannot flip a bit of {type(value).__name__}")
+
+
+def wrap64(value: int) -> int:
+    """Wrap an int to signed 64-bit (the IR's integer overflow rule)."""
+    value &= MASK64
+    if value >= 1 << 63:
+        value -= 1 << 64
+    return value
+
+
+def wrap32(value: int) -> int:
+    """Wrap an int to signed 32-bit (TRUNC32 semantics)."""
+    value &= MASK32
+    if value >= 1 << 31:
+        value -= 1 << 32
+    return value
+
+
+def c_div(a: int, b: int) -> int:
+    """C-style integer division: truncation toward zero."""
+    q = abs(a) // abs(b)
+    return -q if (a < 0) != (b < 0) else q
+
+
+def c_rem(a: int, b: int) -> int:
+    """C-style remainder: sign follows the dividend."""
+    return a - c_div(a, b) * b
+
+
+def fptosi(value: float) -> int:
+    """f64 -> i64 with x86 ``cvttsd2si`` semantics.
+
+    NaN, infinities and out-of-range values produce INT64_MIN, which is
+    what real hardware does and what a corrupted exponent typically
+    turns into.
+    """
+    if math.isnan(value) or math.isinf(value):
+        return INT64_MIN
+    truncated = int(value)  # Python int() truncates toward zero
+    if not (INT64_MIN <= truncated <= (1 << 63) - 1):
+        return INT64_MIN
+    return truncated
+
+
+def fptrunc32(value: float) -> float:
+    """Round a double through binary32 and back (FPTRUNC32 semantics)."""
+    if math.isnan(value):
+        return value
+    try:
+        return struct.unpack("<f", struct.pack("<f", value))[0]
+    except OverflowError:
+        return math.copysign(math.inf, value)
+
+
+def ieee_div(a: float, b: float) -> float:
+    """IEEE-754 division: x/0 gives inf/nan instead of trapping."""
+    if b == 0.0:
+        if a == 0.0 or math.isnan(a):
+            return math.nan
+        return math.copysign(math.inf, a) * math.copysign(1.0, b)
+    try:
+        return a / b
+    except OverflowError:  # pragma: no cover - huge/denormal corner
+        return math.copysign(math.inf, a) * math.copysign(1.0, b)

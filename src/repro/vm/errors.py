@@ -1,0 +1,45 @@
+"""Runtime error taxonomy.
+
+These exceptions are the raw material of the paper's *Crashed* fault
+manifestation (Section II-A1): segmentation faults, arithmetic traps
+and hangs.  The campaign runner maps any of them to
+``Manifestation.CRASHED``.
+"""
+
+from __future__ import annotations
+
+
+class VMError(Exception):
+    """Base class for runtime failures of an interpreted program."""
+
+
+class MemoryFault(VMError):
+    """Out-of-segment access — the segfault analog.
+
+    The paper observes these dominating KMEANS input-location injections
+    (Section V-C): a flipped index register walks off the heap.
+    """
+
+    def __init__(self, addr, reason: str = "out-of-segment access"):
+        super().__init__(f"{reason}: address {addr!r}")
+        self.addr = addr
+
+
+class ComputeTrap(VMError):
+    """Arithmetic trap: integer division by zero, negative shift, ..."""
+
+
+class HangError(VMError):
+    """The instruction budget was exhausted (infinite-loop detector)."""
+
+    def __init__(self, executed: int):
+        super().__init__(f"instruction budget exhausted after {executed} instructions")
+        self.executed = executed
+
+
+class MPIDeadlock(VMError):
+    """Every rank is blocked on communication that can never complete."""
+
+
+class WouldBlock(Exception):
+    """Internal: an MPI operation cannot complete yet (not an error)."""

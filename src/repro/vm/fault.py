@@ -1,0 +1,73 @@
+"""Fault plans: the single bit flip a faulty run will perform.
+
+A plan is produced by :mod:`repro.faults` from the *fault-free* trace
+(site enumeration) and consumed by the interpreter, which applies it at
+the chosen dynamic instruction.  Two modes mirror the paper's injection
+targets (Section V-C):
+
+* ``"loc"``    — flip the value currently held at a location (register
+  or memory word) *before* executing the trigger instruction.  Used for
+  **input locations** of a code-region instance: the trigger is the
+  instance's first dynamic instruction.
+* ``"result"`` — flip the result of the trigger instruction before it
+  is committed.  Used for **internal locations**: the trigger is the
+  dynamic instruction that defines the internal value.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+
+@dataclass
+class FaultPlan:
+    """One single-bit-flip injection.
+
+    Attributes
+    ----------
+    trigger:
+        Dynamic instruction index (0-based position in the execution
+        stream) at which the flip fires.
+    mode:
+        ``"loc"`` or ``"result"`` (see module docstring).
+    bit:
+        Bit position to flip within the value's two's-complement or
+        binary64 image.
+    loc:
+        Target location for ``"loc"`` mode: a heap address (>= 0) or an
+        encoded register location (< 0).  Ignored in ``"result"`` mode.
+    width:
+        Bit width used for integer flips (32 for i32 data, else 64).
+    """
+
+    trigger: int
+    mode: str
+    bit: int
+    loc: Optional[int] = None
+    width: int = 64
+
+    def __post_init__(self) -> None:
+        if self.mode not in ("loc", "result"):
+            raise ValueError(f"unknown fault mode {self.mode!r}")
+        if self.mode == "loc" and self.loc is None:
+            raise ValueError("'loc' mode requires a target location")
+        if self.trigger < 0:
+            raise ValueError("trigger must be a dynamic instruction index >= 0")
+
+
+@dataclass
+class FaultRecord:
+    """What actually happened when a plan fired (filled by the VM)."""
+
+    fired: bool = False
+    loc: Optional[int] = None
+    old_value: object = None
+    new_value: object = None
+    dyn_index: int = -1
+
+    def describe(self) -> str:
+        if not self.fired:
+            return "fault plan did not fire (trigger beyond execution)"
+        return (f"flipped loc {self.loc} at dyn instr {self.dyn_index}: "
+                f"{self.old_value!r} -> {self.new_value!r}")

@@ -1,0 +1,172 @@
+"""Bit-level operation tests: the fault model's foundation."""
+
+import math
+import struct
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.vm import bitops
+
+finite_doubles = st.floats(allow_nan=False, allow_infinity=False)
+any_doubles = st.floats(allow_nan=True, allow_infinity=True)
+i64s = st.integers(min_value=-(2 ** 63), max_value=2 ** 63 - 1)
+
+
+class TestFloatBits:
+    def test_roundtrip_simple(self):
+        for v in (0.0, 1.0, -1.0, 3.141592653589793, 1e308, 5e-324):
+            assert bitops.bits_to_float64(bitops.float64_to_bits(v)) == v
+
+    def test_known_pattern(self):
+        assert bitops.float64_to_bits(1.0) == 0x3FF0000000000000
+        assert bitops.float64_to_bits(-0.0) == 0x8000000000000000
+
+    @given(finite_doubles)
+    def test_roundtrip_property(self, v):
+        assert bitops.bits_to_float64(bitops.float64_to_bits(v)) == v
+
+    @given(st.integers(min_value=0, max_value=2 ** 64 - 1))
+    def test_bits_roundtrip(self, bits):
+        v = bitops.bits_to_float64(bits)
+        if not math.isnan(v):
+            assert bitops.float64_to_bits(v) == bits
+
+
+class TestFlipFloat:
+    def test_sign_bit(self):
+        assert bitops.flip_float64(1.0, 63) == -1.0
+
+    def test_mantissa_lsb_small_effect(self):
+        v = 1.0
+        flipped = bitops.flip_float64(v, 0)
+        assert flipped != v
+        assert abs(flipped - v) < 1e-15
+
+    def test_bit40_magnitude(self):
+        # Table II flips bit 40 of an MG array element; effect is small
+        # relative error on normal doubles
+        v = -0.004373951680278
+        flipped = bitops.flip_float64(v, 40)
+        assert flipped != v
+        assert abs((flipped - v) / v) < 1e-2
+
+    def test_out_of_range_bit(self):
+        with pytest.raises(ValueError):
+            bitops.flip_float64(1.0, 64)
+
+    @given(finite_doubles, st.integers(min_value=0, max_value=63))
+    def test_involution(self, v, bit):
+        once = bitops.flip_float64(v, bit)
+        twice = bitops.flip_float64(once, bit)
+        assert bitops.float64_to_bits(twice) == bitops.float64_to_bits(v)
+
+    @given(finite_doubles, st.integers(min_value=0, max_value=63))
+    def test_exactly_one_bit_differs(self, v, bit):
+        flipped = bitops.flip_float64(v, bit)
+        xor = bitops.float64_to_bits(v) ^ bitops.float64_to_bits(flipped)
+        assert xor == 1 << bit
+
+
+class TestFlipInt:
+    def test_basic(self):
+        assert bitops.flip_int(0, 0) == 1
+        assert bitops.flip_int(1, 0) == 0
+        assert bitops.flip_int(0, 63) == -(2 ** 63)
+
+    def test_width32(self):
+        assert bitops.flip_int(0, 31, 32) == -(2 ** 31)
+        assert bitops.flip_int(-1, 0, 32) == -2
+
+    def test_width1_toggles_bool(self):
+        assert bitops.flip_int(0, 0, 1) == 1
+        assert bitops.flip_int(1, 0, 1) == 0
+
+    @given(i64s, st.integers(min_value=0, max_value=63))
+    def test_involution(self, v, bit):
+        assert bitops.flip_int(bitops.flip_int(v, bit), bit) == v
+
+    @given(i64s, st.integers(min_value=0, max_value=63))
+    def test_stays_in_range(self, v, bit):
+        out = bitops.flip_int(v, bit)
+        assert -(2 ** 63) <= out <= 2 ** 63 - 1
+
+    @given(st.integers(min_value=-(2 ** 31), max_value=2 ** 31 - 1),
+           st.integers(min_value=0, max_value=31))
+    def test_width32_involution(self, v, bit):
+        assert bitops.flip_int(bitops.flip_int(v, bit, 32), bit, 32) == v
+
+
+class TestFlipValue:
+    def test_dispatch(self):
+        assert isinstance(bitops.flip_value(1.5, 3), float)
+        assert isinstance(bitops.flip_value(7, 3), int)
+
+    def test_rejects_other_types(self):
+        with pytest.raises(TypeError):
+            bitops.flip_value("x", 0)
+
+
+class TestWrap:
+    def test_wrap64(self):
+        assert bitops.wrap64(2 ** 63) == -(2 ** 63)
+        assert bitops.wrap64(-(2 ** 63) - 1) == 2 ** 63 - 1
+        assert bitops.wrap64(5) == 5
+
+    def test_wrap32(self):
+        assert bitops.wrap32(2 ** 31) == -(2 ** 31)
+        assert bitops.wrap32(-1) == -1
+        assert bitops.wrap32(0xFFFFFFFF) == -1
+
+    @given(st.integers())
+    def test_wrap64_range(self, v):
+        out = bitops.wrap64(v)
+        assert -(2 ** 63) <= out <= 2 ** 63 - 1
+        assert (out - v) % (2 ** 64) == 0
+
+
+class TestCDivision:
+    def test_c_div_truncates_toward_zero(self):
+        assert bitops.c_div(7, 2) == 3
+        assert bitops.c_div(-7, 2) == -3
+        assert bitops.c_div(7, -2) == -3
+        assert bitops.c_div(-7, -2) == 3
+
+    def test_c_rem_sign_follows_dividend(self):
+        assert bitops.c_rem(7, 3) == 1
+        assert bitops.c_rem(-7, 3) == -1
+        assert bitops.c_rem(7, -3) == 1
+
+    @given(i64s, i64s.filter(lambda x: x != 0))
+    def test_div_rem_identity(self, a, b):
+        q, r = bitops.c_div(a, b), bitops.c_rem(a, b)
+        assert q * b + r == a
+        assert abs(r) < abs(b)
+
+
+class TestConversions:
+    def test_fptosi(self):
+        assert bitops.fptosi(2.9) == 2
+        assert bitops.fptosi(-2.9) == -2
+        assert bitops.fptosi(float("nan")) == bitops.INT64_MIN
+        assert bitops.fptosi(float("inf")) == bitops.INT64_MIN
+        assert bitops.fptosi(1e300) == bitops.INT64_MIN
+
+    def test_fptrunc32(self):
+        # 0.1 is not exactly representable in binary32
+        assert bitops.fptrunc32(0.1) != 0.1
+        assert bitops.fptrunc32(1.0) == 1.0
+        assert bitops.fptrunc32(1e300) == math.inf
+        assert bitops.fptrunc32(-1e300) == -math.inf
+        assert math.isnan(bitops.fptrunc32(float("nan")))
+
+    @given(finite_doubles)
+    def test_fptrunc32_idempotent(self, v):
+        once = bitops.fptrunc32(v)
+        assert bitops.fptrunc32(once) == once or math.isinf(once)
+
+    def test_ieee_div(self):
+        assert bitops.ieee_div(1.0, 0.0) == math.inf
+        assert bitops.ieee_div(-1.0, 0.0) == -math.inf
+        assert math.isnan(bitops.ieee_div(0.0, 0.0))
+        assert bitops.ieee_div(6.0, 3.0) == 2.0

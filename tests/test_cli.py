@@ -1,0 +1,111 @@
+"""CLI behaviour (python -m repro ...) via direct main() calls."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+def run(capsys, *argv):
+    code = main(list(argv))
+    out = capsys.readouterr().out
+    return code, out
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_rejects_unknown_app(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["trace", "nosuchapp"])
+
+
+class TestApps:
+    def test_lists_all_ten(self, capsys):
+        code, out = run(capsys, "apps")
+        assert code == 0
+        for app in ("cg", "mg", "is", "lu", "bt", "sp", "dc", "ft",
+                    "kmeans", "lulesh"):
+            assert f"\n{app} " in out or out.startswith(f"{app} ")
+
+
+class TestSample:
+    def test_leveugle_default(self, capsys):
+        code, out = run(capsys, "sample", "100000")
+        assert code == 0
+        assert "1056" in out  # 95%/3% on a large population
+
+    def test_custom_margin(self, capsys):
+        code, out = run(capsys, "sample", "100000", "--margin", "0.01")
+        assert code == 0
+        # 99%... no: default confidence 0.95, margin 1% -> ~8763
+        n = int(out.rsplit(" ", 2)[-2])
+        assert n > 5000
+
+
+class TestTraceRegionsIO:
+    def test_trace_kmeans(self, capsys):
+        code, out = run(capsys, "trace", "kmeans")
+        assert code == 0
+        assert "records" in out and "PASS" in out
+
+    def test_regions_lists_loop_regions(self, capsys):
+        code, out = run(capsys, "regions", "kmeans", "--instance", "0")
+        assert code == 0
+        assert "k_f" in out and "loop" in out
+
+    def test_io_summary(self, capsys):
+        code, out = run(capsys, "io", "kmeans", "k_f", "-v", "--limit", "3")
+        assert code == 0
+        assert "in /" in out and "internal" in out
+        assert "loc " in out
+
+
+class TestInjectAndACL:
+    def test_inject_reports_manifestation(self, capsys):
+        code, out = run(capsys, "--seed", "7", "inject", "kmeans", "k_d",
+                        "--kind", "internal")
+        assert code == 0
+        assert "manifestation:" in out
+        assert "ACL: peak=" in out
+
+    def test_inject_deterministic_across_calls(self, capsys):
+        _, out1 = run(capsys, "--seed", "9", "inject", "kmeans", "k_d")
+        _, out2 = run(capsys, "--seed", "9", "inject", "kmeans", "k_d")
+        assert out1.splitlines()[0] == out2.splitlines()[0]
+
+    def test_acl_chart_renders(self, capsys):
+        code, out = run(capsys, "--seed", "7", "acl", "kmeans", "k_d")
+        assert code == 0
+        assert "dynamic instructions" in out
+
+
+class TestCampaign:
+    def test_small_campaign(self, capsys):
+        code, out = run(capsys, "--seed", "3", "campaign", "kmeans", "k_d",
+                        "-n", "6")
+        assert code == 0
+        assert "success_rate=" in out
+        assert "6 injections" in out
+
+
+class TestRates:
+    def test_rates_table(self, capsys):
+        code, out = run(capsys, "rates", "is")
+        assert code == 0
+        assert "shift" in out and "overwrite" in out
+
+
+class TestDot:
+    def test_dot_stdout(self, capsys):
+        code, out = run(capsys, "dot", "kmeans", "k_d")
+        assert code == 0
+        assert out.startswith("digraph")
+
+    def test_dot_to_file(self, capsys, tmp_path):
+        path = tmp_path / "g.dot"
+        code, out = run(capsys, "dot", "kmeans", "k_d", "-o", str(path))
+        assert code == 0
+        assert path.read_text().startswith("digraph")
+        assert "wrote" in out

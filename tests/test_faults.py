@@ -1,0 +1,164 @@
+"""Fault-site sampling, statistical sizing and campaign classification."""
+
+import math
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.apps.base import Program
+from repro.core import FlipTracker
+from repro.faults.campaign import (CampaignResult, Manifestation,
+                                   run_campaign, run_plan)
+from repro.faults.sites import (input_site_population,
+                                internal_site_population, sample_input_plan,
+                                sample_internal_plan)
+from repro.faults.statistics import sample_size, z_score
+from repro.frontend import ProgramBuilder
+from repro.ir.types import F64, I64
+from repro.util.rng import DeterministicRNG
+
+
+def tiny_program():
+    pb = ProgramBuilder("tiny")
+    pb.array("a", F64, (8,))
+    pb.scalar("verified", I64, 0)
+    pb.func_source("""
+def work() -> None:
+    for i in range(8):
+        a[i] = a[i] * 0.5 + 1.0
+
+def main() -> None:
+    for i in range(8):
+        a[i] = float(i)
+    for it in range(3):
+        work()
+    s = 0.0
+    for i in range(8):
+        s = s + a[i]
+    if s > 10.0:
+        if s < 50.0:
+            verified = 1
+""")
+    return Program(name="tiny", module=pb.build(), region_fn="work",
+                   region_prefix="w", main_fn="main")
+
+
+class TestStatistics:
+    def test_z_scores(self):
+        assert z_score(0.95) == pytest.approx(1.959964, abs=1e-5)
+        assert z_score(0.99) == pytest.approx(2.575829, abs=1e-5)
+        # non-tabulated level resolved numerically
+        assert z_score(0.975) == pytest.approx(2.241403, abs=1e-3)
+
+    def test_paper_scale_sample_sizes(self):
+        # 95% / 3% on a large population: ~1067 injections
+        assert sample_size(10 ** 8, 0.95, 0.03) == pytest.approx(1068, abs=2)
+        # 99% / 1%: ~16k injections (the use-case setting)
+        assert sample_size(10 ** 8, 0.99, 0.01) == pytest.approx(16588,
+                                                                 abs=20)
+
+    def test_small_population_caps(self):
+        assert sample_size(10, 0.95, 0.03) == 10
+        assert sample_size(0) == 0
+
+    @given(st.integers(min_value=1, max_value=10 ** 9))
+    @settings(max_examples=30, deadline=None)
+    def test_sample_never_exceeds_population(self, pop):
+        n = sample_size(pop)
+        assert 1 <= n <= pop
+
+    def test_monotone_in_margin(self):
+        assert sample_size(10 ** 6, 0.95, 0.01) > \
+            sample_size(10 ** 6, 0.95, 0.05)
+
+    def test_monotone_in_confidence(self):
+        assert sample_size(10 ** 6, 0.99, 0.03) > \
+            sample_size(10 ** 6, 0.90, 0.03)
+
+    def test_bad_confidence(self):
+        with pytest.raises(ValueError):
+            z_score(0.3)
+
+
+class TestSites:
+    def setup_method(self):
+        self.prog = tiny_program()
+        self.ft = FlipTracker(self.prog, seed=11)
+        loop_inst = next(i for i in self.ft.instances()
+                         if i.region.kind == "loop" and i.index == 0)
+        self.inst = loop_inst
+        self.io = self.ft.io(loop_inst)
+
+    def test_populations_positive(self):
+        assert input_site_population(self.io, self.prog.module) > 0
+        assert internal_site_population(
+            self.ft.fault_free_trace().records, self.inst) > 0
+
+    def test_input_plans_target_inputs(self):
+        rng = DeterministicRNG(3)
+        for _ in range(20):
+            plan, info = sample_input_plan(self.io, self.prog.module, rng)
+            assert plan.mode == "loc"
+            assert plan.loc in self.io.inputs
+            assert plan.trigger == self.inst.start
+            assert 0 <= plan.bit < plan.width
+            assert info.kind == "input"
+
+    def test_internal_plans_inside_instance(self):
+        rng = DeterministicRNG(5)
+        records = self.ft.fault_free_trace().records
+        for _ in range(20):
+            drawn = sample_internal_plan(records, self.io,
+                                         self.prog.module, rng)
+            assert drawn is not None
+            plan, info = drawn
+            assert plan.mode == "result"
+            assert self.inst.start <= plan.trigger < self.inst.end
+            from repro.trace.events import R_DLOC
+            assert records[plan.trigger][R_DLOC] in self.io.internals
+
+    def test_sampling_deterministic_per_seed(self):
+        a = self.ft.make_plans(self.inst, "internal", 5)
+        ft2 = FlipTracker(tiny_program(), seed=11)
+        inst2 = next(i for i in ft2.instances()
+                     if i.region.kind == "loop" and i.index == 0)
+        b = ft2.make_plans(inst2, "internal", 5)
+        assert [(p.trigger, p.bit) for p in a] == \
+            [(p.trigger, p.bit) for p in b]
+
+
+class TestCampaign:
+    def test_manifestation_classes(self):
+        prog = tiny_program()
+        ft = FlipTracker(prog, seed=9)
+        inst = next(i for i in ft.instances()
+                    if i.region.kind == "loop" and i.index == 0)
+        plans = ft.make_plans(inst, "internal", 40)
+        result = run_campaign(prog, plans, workers=1,
+                              max_instr=ft.faulty_budget)
+        assert result.total == 40
+        assert result.success + result.failed + result.crashed == 40
+        assert 0.0 <= result.success_rate <= 1.0
+        # some low-bit flips must be tolerated by the verify threshold
+        assert result.success > 0
+
+    def test_campaign_result_merge(self):
+        a = CampaignResult(success=2, failed=1, crashed=0)
+        b = CampaignResult(success=1, failed=0, crashed=3)
+        a.merge(b)
+        assert (a.success, a.failed, a.crashed) == (3, 1, 3)
+        assert a.total == 7
+
+    def test_run_plan_success_and_failure(self):
+        prog = tiny_program()
+        ft = FlipTracker(prog, seed=4)
+        # benign flip: mantissa bit 0 late in execution
+        from repro.vm.fault import FaultPlan
+        n = len(ft.fault_free_trace())
+        benign = FaultPlan(trigger=n - 5, mode="result", bit=0)
+        assert run_plan(prog, benign) in (Manifestation.SUCCESS,
+                                          Manifestation.FAILED)
+
+    def test_str(self):
+        r = CampaignResult(success=1, failed=1, crashed=0, label="x")
+        assert "x" in str(r) and "0.5" in str(r)

@@ -1,0 +1,128 @@
+"""Bayesian regression and the Use Case 2 prediction pipeline."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.patterns.rates import PatternRates
+from repro.prediction import (BayesianLinearRegression, PredictionRow,
+                              feature_importance, fit_all, loo_validate,
+                              mean_error_excluding)
+
+
+def synth_rates(vec) -> PatternRates:
+    return PatternRates(*vec, total_instructions=1000)
+
+
+class TestBayesianLinearRegression:
+    def test_recovers_planted_coefficients(self):
+        rng = np.random.default_rng(0)
+        X = rng.normal(size=(200, 3))
+        beta = np.array([2.0, -1.0, 0.5])
+        y = X @ beta + 3.0 + rng.normal(scale=0.01, size=200)
+        model = BayesianLinearRegression(lam=1e-6).fit(X, y)
+        assert np.allclose(model.coef_, beta, atol=0.01)
+        assert model.intercept_ == pytest.approx(3.0, abs=0.01)
+
+    def test_r_squared_perfect_fit(self):
+        X = np.arange(10, dtype=float).reshape(-1, 1)
+        y = 2 * X[:, 0] + 1
+        model = BayesianLinearRegression(lam=1e-9).fit(X, y)
+        assert model.r_squared(X, y) == pytest.approx(1.0, abs=1e-6)
+
+    def test_r_squared_constant_target(self):
+        X = np.arange(6, dtype=float).reshape(-1, 1)
+        y = np.ones(6)
+        model = BayesianLinearRegression().fit(X, y)
+        assert 0.0 <= model.r_squared(X, y) <= 1.0
+
+    def test_predict_clipped(self):
+        X = np.array([[0.0], [100.0]])
+        y = np.array([0.1, 5.0])
+        model = BayesianLinearRegression(lam=1e-9).fit(X, y)
+        clipped = model.predict_clipped(np.array([[1000.0], [-1000.0]]))
+        assert clipped[0] == 1.0 and clipped[1] == 0.0
+
+    def test_regularization_shrinks(self):
+        X = np.arange(10, dtype=float).reshape(-1, 1)
+        y = 2 * X[:, 0]
+        loose = BayesianLinearRegression(lam=1e-9).fit(X, y)
+        tight = BayesianLinearRegression(lam=100.0).fit(X, y)
+        assert abs(tight.coef_[0]) < abs(loose.coef_[0])
+
+    def test_requires_fit(self):
+        with pytest.raises(RuntimeError):
+            BayesianLinearRegression().predict(np.zeros((1, 2)))
+
+    def test_shape_validation(self):
+        with pytest.raises(ValueError):
+            BayesianLinearRegression().fit(np.zeros(3), np.zeros(3))
+        with pytest.raises(ValueError):
+            BayesianLinearRegression().fit(np.zeros((3, 2)), np.zeros(4))
+
+    @given(st.integers(min_value=0, max_value=10 ** 6))
+    @settings(max_examples=10, deadline=None)
+    def test_posterior_cov_symmetric_psd(self, seed):
+        rng = np.random.default_rng(seed)
+        X = rng.normal(size=(20, 4))
+        y = rng.normal(size=20)
+        model = BayesianLinearRegression().fit(X, y)
+        cov = model.posterior_cov_
+        assert np.allclose(cov, cov.T, atol=1e-10)
+        assert (np.linalg.eigvalsh(cov) > -1e-10).all()
+
+    def test_standardized_coefficients_scale_free(self):
+        rng = np.random.default_rng(3)
+        X = rng.normal(size=(100, 2))
+        y = 5 * X[:, 0] + 0.1 * X[:, 1]
+        m = BayesianLinearRegression(lam=1e-9).fit(X, y)
+        sc = m.standardized_coefficients(X, y)
+        assert sc[0] > sc[1]
+        # rescaling a feature leaves its standardized coefficient alone
+        X2 = X.copy()
+        X2[:, 0] *= 1000
+        m2 = BayesianLinearRegression(lam=1e-9).fit(X2, y)
+        sc2 = m2.standardized_coefficients(X2, y)
+        assert sc2[0] == pytest.approx(sc[0], rel=1e-3)
+
+
+class TestUseCase2Pipeline:
+    def make_rows(self, n=10, noise=0.01, seed=0):
+        rng = np.random.default_rng(seed)
+        beta = np.array([0.5, 1.5, 0.3, 0.1, 0.2, 0.4])
+        rows = []
+        for i in range(n):
+            vec = rng.uniform(0, 0.5, size=6)
+            sr = float(np.clip(vec @ beta + 0.2
+                               + rng.normal(scale=noise), 0, 1))
+            rows.append(PredictionRow(f"app{i}", synth_rates(vec), sr))
+        return rows
+
+    def test_fit_all_high_r2_on_linear_data(self):
+        rows = self.make_rows()
+        _model, r2 = fit_all(rows)
+        assert r2 > 0.9
+
+    def test_loo_fills_predictions(self):
+        rows = loo_validate(self.make_rows())
+        assert all(0.0 <= r.predicted_sr <= 1.0 for r in rows)
+        errs = [r.error_rate for r in rows]
+        assert np.mean(errs) < 0.25
+
+    def test_mean_error_excluding(self):
+        rows = self.make_rows(4)
+        for r in rows:
+            r.predicted_sr = r.measured_sr  # perfect
+        rows[0].benchmark = "dc"
+        rows[0].predicted_sr = 0.0  # outlier
+        assert mean_error_excluding(rows, "dc") == pytest.approx(0.0)
+
+    def test_feature_importance_names(self):
+        imp = feature_importance(self.make_rows())
+        assert set(imp) == set(PatternRates.FIELDS)
+        assert all(v >= 0 for v in imp.values())
+
+    def test_error_rate_definition(self):
+        row = PredictionRow("x", synth_rates([0] * 6), measured_sr=0.5,
+                            predicted_sr=0.6)
+        assert row.error_rate == pytest.approx(0.2)
