@@ -22,15 +22,17 @@ paper-vs-measured record of every table and figure.
 from repro.apps import ALL_APPS, REGISTRY, Program
 from repro.core import FlipTracker, RunAnalysis
 from repro.dddg import DDDG, RegionComparison, build_dddg, to_dot
+from repro.engine import ExecutionEngine, PlanCache, ProgressEvent
 from repro.faults import CampaignResult, Manifestation, sample_size
 from repro.patterns import PATTERNS, PatternInstance, compute_rates
 from repro.vm import FaultPlan, Interpreter
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
 __all__ = [
     "ALL_APPS", "REGISTRY", "Program", "FlipTracker", "RunAnalysis",
     "DDDG", "RegionComparison", "build_dddg", "to_dot",
+    "ExecutionEngine", "PlanCache", "ProgressEvent",
     "CampaignResult", "Manifestation", "sample_size", "PATTERNS",
     "PatternInstance", "compute_rates", "FaultPlan", "Interpreter",
     "__version__",

@@ -15,7 +15,12 @@ Exposes the FlipTracker pipeline for interactive exploration:
 ``sample``     Leveugle sample-size calculator (Section IV-C)
 =============  =============================================================
 
-Every command is deterministic under ``--seed``.
+Every command is deterministic under ``--seed``.  The engine flags
+``--workers``, ``--cache-dir``, ``--resume`` and ``--shard-size``
+control the unified execution engine (see :mod:`repro.engine`):
+``--cache-dir`` spills every executed plan's result to a JSON-lines
+file, and ``--resume`` replays it so a repeated or interrupted campaign
+skips injections that already ran.
 """
 
 from __future__ import annotations
@@ -31,7 +36,9 @@ from repro.util.tables import format_table
 
 def _tracker(args) -> FlipTracker:
     program = REGISTRY.build(args.app)
-    return FlipTracker(program, seed=args.seed, workers=args.workers)
+    return FlipTracker(program, seed=args.seed, workers=args.workers,
+                       cache_dir=args.cache_dir, resume=args.resume,
+                       shard_size=args.shard_size)
 
 
 def cmd_apps(args) -> int:
@@ -84,10 +91,12 @@ def cmd_io(args) -> int:
 
 
 def cmd_inject(args) -> int:
+    from repro.faults.sites import NoFaultSitesError
     ft = _tracker(args)
     inst = ft.instance_of(args.region, args.instance)
-    plans = ft.make_plans(inst, args.kind, 1, seed_offset=args.draw)
-    if not plans:
+    try:
+        plans = ft.make_plans(inst, args.kind, 1, seed_offset=args.draw)
+    except NoFaultSitesError:
         print(f"no {args.kind} sites in {args.region}#{args.instance}",
               file=sys.stderr)
         return 1
@@ -110,11 +119,13 @@ def cmd_inject(args) -> int:
 
 
 def cmd_acl(args) -> int:
+    from repro.faults.sites import NoFaultSitesError
     from repro.viz import acl_chart
     ft = _tracker(args)
     inst = ft.instance_of(args.region, args.instance)
-    plans = ft.make_plans(inst, args.kind, 1, seed_offset=args.draw)
-    if not plans:
+    try:
+        plans = ft.make_plans(inst, args.kind, 1, seed_offset=args.draw)
+    except NoFaultSitesError:
         print("no sites", file=sys.stderr)
         return 1
     analysis = ft.analyze_injection(plans[0])
@@ -126,10 +137,26 @@ def cmd_acl(args) -> int:
 
 
 def cmd_campaign(args) -> int:
+    from repro.faults.sites import NoFaultSitesError
     ft = _tracker(args)
-    res = ft.region_campaign(args.region, args.kind, n=args.n,
-                             instance_index=args.instance)
+    on_progress = None
+    if args.progress:
+        def on_progress(event):  # noqa: E306 - tiny local callback
+            print(f"  {event}", file=sys.stderr)
+    try:
+        res = ft.region_campaign(args.region, args.kind, n=args.n,
+                                 instance_index=args.instance,
+                                 on_progress=on_progress)
+    except NoFaultSitesError as exc:
+        print(f"no injectable sites: {exc}", file=sys.stderr)
+        ft.close()
+        return 1
     print(res)
+    if args.cache_dir:
+        stats = ft.engine.cache.stats()
+        print(f"cache: {res.executed} executed, {res.cached} reused, "
+              f"{stats['entries']} entries @ {stats['path']}")
+    ft.close()
     return 0
 
 
@@ -167,12 +194,29 @@ def cmd_sample(args) -> int:
     return 0
 
 
+def _positive_int(text: str) -> int:
+    value = int(text)
+    if value < 1:
+        raise argparse.ArgumentTypeError("must be >= 1")
+    return value
+
+
 def build_parser() -> argparse.ArgumentParser:
     p = argparse.ArgumentParser(
         prog="repro",
         description="FlipTracker (SC'18) reproduction toolkit")
     p.add_argument("--seed", type=int, default=20181111)
-    p.add_argument("--workers", type=int, default=1)
+    p.add_argument("--workers", type=int, default=1,
+                   help="engine worker processes (1 = sequential)")
+    p.add_argument("--cache-dir", default=None,
+                   help="spill the engine's plan-result cache to this "
+                        "directory (JSON lines; doubles as a campaign "
+                        "checkpoint)")
+    p.add_argument("--resume", action="store_true",
+                   help="reuse results already recorded in --cache-dir: "
+                        "previously executed injections are skipped")
+    p.add_argument("--shard-size", type=_positive_int, default=64,
+                   help="campaign checkpoint/progress granularity")
     sub = p.add_subparsers(dest="command", required=True)
 
     sub.add_parser("apps", help="list study programs")
@@ -210,6 +254,8 @@ def build_parser() -> argparse.ArgumentParser:
     sp.add_argument("--kind", choices=("input", "internal"),
                     default="internal")
     sp.add_argument("-n", type=int, default=40)
+    sp.add_argument("--progress", action="store_true",
+                    help="stream per-shard progress to stderr")
 
     app_cmd("rates", "pattern-rate features (Table IV row)")
 

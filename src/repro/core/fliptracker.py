@@ -13,17 +13,18 @@ Workflow implemented here, mirroring Sections III-IV:
 
 from __future__ import annotations
 
-import multiprocessing as mp
-import os
+import warnings
 import zlib
 from dataclasses import dataclass, field
 from typing import Optional, Sequence
 
 from repro.acl.table import ACLResult, build_acl
 from repro.apps.base import Program
+from repro.engine import ExecutionEngine
+from repro.engine.progress import ProgressCallback
 from repro.faults.campaign import (CampaignResult, Manifestation,
-                                   run_campaign, run_plan)
-from repro.faults.sites import (input_site_population,
+                                   classify_check)
+from repro.faults.sites import (NoFaultSitesError, input_site_population,
                                 internal_site_population, sample_input_plan,
                                 sample_internal_plan, stratified_probe_plans)
 from repro.faults.statistics import sample_size
@@ -58,19 +59,15 @@ class RunAnalysis:
         return out
 
 
-#: tracker handed to forked pattern-analysis workers (fork COW)
-_FORK_TRACKER: Optional["FlipTracker"] = None
-
-
-def _analyze_patterns_forked(plan: FaultPlan) -> dict[str, set[str]]:
-    assert _FORK_TRACKER is not None
-    analysis = _FORK_TRACKER.analyze_injection(plan)
-    return {region: set(pats) for region, pats
-            in analysis.patterns_by_region().items()}
-
-
 class FlipTracker:
     """Analysis driver bound to one built program.
+
+    All faulty runs go through one persistent
+    :class:`~repro.engine.ExecutionEngine` (created lazily, kept for
+    the tracker's lifetime): the worker pool starts once, fork children
+    inherit the cached golden trace copy-on-write, and every executed
+    plan lands in the engine's content-addressed result cache — so a
+    repeated campaign over the same target performs zero new runs.
 
     Parameters
     ----------
@@ -79,20 +76,56 @@ class FlipTracker:
     seed:
         Seed for all site sampling within this driver.
     workers:
-        Process count for campaigns (1 = sequential).
+        Process count for campaigns and traced analyses (1 = sequential).
+    cache_dir:
+        Spill the plan-result cache to ``<cache_dir>/plan_results.jsonl``
+        so campaigns resume across processes (see :mod:`repro.engine`).
+    resume:
+        Reuse pre-existing spill entries from ``cache_dir``.
+    shard_size:
+        Campaign checkpoint/progress granularity.
     """
 
     def __init__(self, program: Program, seed: int = 1234,
-                 workers: int = 1):
+                 workers: int = 1, *, cache_dir: Optional[str] = None,
+                 resume: bool = True, shard_size: int = 64):
         self.program = program
         self.seed = seed
         self.workers = workers
+        self.cache_dir = cache_dir
+        self.resume = resume
+        self.shard_size = shard_size
+        self._engine: Optional[ExecutionEngine] = None
         self._ff: Optional[Trace] = None
         self._index: Optional[TraceIndex] = None
         self._model: Optional[RegionModel] = None
         self._instances: Optional[list[RegionInstance]] = None
         self._io_cache: dict[tuple[str, int], RegionIO] = {}
         self._rates: Optional[PatternRates] = None
+
+    # ------------------------------------------------------------ engine
+    @property
+    def engine(self) -> ExecutionEngine:
+        """The tracker's persistent execution engine (lazy singleton)."""
+        if self._engine is None:
+            self._engine = ExecutionEngine(
+                self.program, workers=self.workers,
+                cache_dir=self.cache_dir, resume=self.resume,
+                shard_size=self.shard_size)
+            self._engine.bind_tracker(self)
+        return self._engine
+
+    def close(self) -> None:
+        """Shut down the engine (worker pool + cache spill handle)."""
+        if self._engine is not None:
+            self._engine.close()
+            self._engine = None
+
+    def __enter__(self) -> "FlipTracker":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
 
     # ------------------------------------------------------------ fault-free
     def fault_free_trace(self) -> Trace:
@@ -165,22 +198,32 @@ class FlipTracker:
         return RegionInstance(region, 0, len(trace), 0)
 
     def whole_program_campaign(self, kind: str = "internal",
-                               n: int = 100) -> CampaignResult:
+                               n: int = 100,
+                               on_progress: Optional[ProgressCallback] = None
+                               ) -> CampaignResult:
         """Success rate over uniform whole-application injections."""
         inst = self.whole_program_instance()
         plans = self.make_plans(inst, kind, n)
-        return run_campaign(self.program, plans, workers=self.workers,
-                            max_instr=self.faulty_budget,
-                            label=f"{self.program.name}/whole/{kind}")
+        return self.engine.run_plans(
+            plans, max_instr=self.faulty_budget,
+            label=f"{self.program.name}/whole/{kind}",
+            on_progress=on_progress)
 
     # ------------------------------------------------------------ planning
     def make_plans(self, instance: RegionInstance, kind: str, n: int,
-                   seed_offset: int = 0) -> list[FaultPlan]:
+                   seed_offset: int = 0, strict: bool = True
+                   ) -> list[FaultPlan]:
         """Sample ``n`` single-bit-flip plans for one instance.
 
         Deterministic across processes: the per-target stream is keyed
         by a stable CRC (builtin ``hash`` of strings is randomized per
         interpreter by PYTHONHASHSEED and must not feed seeds).
+
+        Rejection sampling draws at most ``n * 4`` times; a partial
+        yield (site population thinner than requested) warns, and a
+        *zero* yield for ``n > 0`` raises
+        :class:`~repro.faults.sites.NoFaultSitesError` unless
+        ``strict=False``, which downgrades it to the same warning.
         """
         io = self.io(instance)
         key = (f"{instance.region.name}|{instance.index}|{kind}|"
@@ -201,6 +244,17 @@ class FlipTracker:
                 raise ValueError(f"kind must be input|internal, got {kind!r}")
             if drawn is not None:
                 plans.append(drawn[0])
+        if len(plans) < n:
+            target = (f"{self.program.name}/{instance.region.name}"
+                      f"#{instance.index}/{kind}")
+            if not plans and n > 0 and strict:
+                raise NoFaultSitesError(
+                    f"make_plans: no {kind} sites drawn for {target} "
+                    f"after {n * 4} attempts")
+            warnings.warn(
+                f"make_plans: drew only {len(plans)} of {n} requested "
+                f"{kind} plans for {target} (draw budget {n * 4} "
+                f"exhausted)", RuntimeWarning, stacklevel=2)
         return plans
 
     def campaign_size(self, instance: RegionInstance, kind: str,
@@ -220,27 +274,33 @@ class FlipTracker:
     def region_campaign(self, region_name: str, kind: str,
                         n: Optional[int] = None,
                         instance_index: int = 0,
-                        cap: Optional[int] = None) -> CampaignResult:
+                        cap: Optional[int] = None,
+                        on_progress: Optional[ProgressCallback] = None
+                        ) -> CampaignResult:
         """Success rate for one region instance (Fig. 5 data points)."""
         inst = self.instance_of(region_name, instance_index)
         count = n if n is not None else self.campaign_size(inst, kind,
                                                            cap=cap)
         plans = self.make_plans(inst, kind, count)
-        return run_campaign(self.program, plans, workers=self.workers,
-                            max_instr=self.faulty_budget,
-                            label=f"{self.program.name}/{region_name}/{kind}")
+        return self.engine.run_plans(
+            plans, max_instr=self.faulty_budget,
+            label=f"{self.program.name}/{region_name}/{kind}",
+            on_progress=on_progress)
 
     def iteration_campaign(self, iteration: int, kind: str,
-                           n: int = 50) -> CampaignResult:
+                           n: int = 50,
+                           on_progress: Optional[ProgressCallback] = None
+                           ) -> CampaignResult:
         """Success rate for one main-loop iteration (Fig. 6 data points)."""
         iters = self.main_loop_iterations()
         if iteration >= len(iters):
             raise IndexError(f"main loop has {len(iters)} iterations")
         inst = iters[iteration]
         plans = self.make_plans(inst, kind, n, seed_offset=iteration + 1)
-        return run_campaign(self.program, plans, workers=self.workers,
-                            max_instr=self.faulty_budget,
-                            label=f"{self.program.name}/iter{iteration}/{kind}")
+        return self.engine.run_plans(
+            plans, max_instr=self.faulty_budget,
+            label=f"{self.program.name}/iter{iteration}/{kind}",
+            on_progress=on_progress)
 
     # ------------------------------------------------------------ analysis
     def analyze_injection(self, plan: FaultPlan) -> RunAnalysis:
@@ -260,12 +320,9 @@ class FlipTracker:
         if crashed:
             manifestation = Manifestation.CRASHED
         else:
-            try:
-                ok = self.program.check(interp)
-            except Exception:
-                ok = False
-            manifestation = (Manifestation.SUCCESS if ok
-                             else Manifestation.FAILED)
+            # narrowed classification: corrupted-state exceptions inside
+            # the checker mean FAILED; checker bugs raise CheckerError
+            manifestation = classify_check(self.program, interp)
         frec = interp.fault_record
         injected_loc = frec.loc if frec.fired else None
         injected_time = frec.dyn_index if frec.fired else None
@@ -317,8 +374,11 @@ class FlipTracker:
         uniform sampling only reaches at Leveugle-scale campaign sizes.
 
         With ``self.workers > 1`` (and a fork-capable OS) the traced
-        analysis runs fan out across processes; the children inherit
-        the parent's cached fault-free trace copy-on-write.
+        analysis runs fan out across the engine's persistent pool; the
+        children inherit the parent's cached fault-free trace
+        copy-on-write.  Regions whose site populations are empty (a
+        straight region with no internal defs, say) are skipped rather
+        than failing the whole sweep.
         """
         found: dict[str, set[str]] = {r.region.name: set()
                                       for r in self.instances()
@@ -330,7 +390,11 @@ class FlipTracker:
             if loop_only and inst.region.kind != "loop":
                 continue
             for kind in ("input", "internal"):
-                plans.extend(self.make_plans(inst, kind, runs_per_kind))
+                try:
+                    plans.extend(self.make_plans(inst, kind,
+                                                 runs_per_kind))
+                except NoFaultSitesError:
+                    continue
             if probe_sites > 0:
                 plans.extend(self.probe_plans(inst, bits=probe_bits,
                                               n_sites=probe_sites))
@@ -341,28 +405,9 @@ class FlipTracker:
 
     def _analyze_many(self, plans: Sequence[FaultPlan]
                       ) -> list[dict[str, set[str]]]:
-        """Patterns-by-region for many traced injections, parallel-aware."""
-        if self.workers > 1 and len(plans) >= 4 and hasattr(os, "fork"):
-            # children inherit the cached fault-free trace via fork COW;
-            # only the small pattern dicts cross process boundaries
-            global _FORK_TRACKER
-            self.fault_free_trace()
-            self.trace_index()
-            self.instances()
-            _FORK_TRACKER = self
-            try:
-                ctx = mp.get_context("fork")
-                with ctx.Pool(self.workers) as pool:
-                    return pool.map(_analyze_patterns_forked, plans,
-                                    chunksize=max(1, len(plans) // (self.workers * 4)))
-            finally:
-                _FORK_TRACKER = None
-        out = []
-        for plan in plans:
-            analysis = self.analyze_injection(plan)
-            out.append({region: set(pats) for region, pats
-                        in analysis.patterns_by_region().items()})
-        return out
+        """Patterns-by-region for many traced injections (engine-routed)."""
+        return self.engine.analyze_plans(plans,
+                                         max_instr=self.faulty_budget)
 
     def compare_regions(self, analysis: RunAnalysis,
                         max_instance_records: int = 200_000):

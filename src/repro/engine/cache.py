@@ -1,0 +1,120 @@
+"""Plan-result cache: in-memory map plus optional JSON-lines spill.
+
+The cache maps content-addressed plan keys (:mod:`repro.engine.keys`)
+to manifestation values (``"success"``/``"failed"``/``"crashed"``).
+With a ``cache_dir`` every store is appended to
+``<cache_dir>/plan_results.jsonl`` as it happens, which makes the file
+double as a campaign checkpoint: a killed campaign that already
+finished some shards resumes by replaying the file and skipping every
+recorded plan.  Appending line-by-line keeps partial files valid —
+a truncated final line (crash mid-write) is simply dropped on load.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from typing import IO, Optional
+
+from repro.engine.keys import KEY_VERSION
+
+SPILL_NAME = "plan_results.jsonl"
+
+
+class PlanCache:
+    """Content-addressed plan→manifestation store.
+
+    Parameters
+    ----------
+    cache_dir:
+        Directory for the JSONL spill file.  ``None`` keeps the cache
+        purely in-memory (still shared across campaigns of one engine).
+    resume:
+        Load pre-existing spill entries at construction.  ``False``
+        starts from an empty view but still appends new results, so a
+        later run *can* resume from them.
+    """
+
+    def __init__(self, cache_dir: Optional[str] = None,
+                 resume: bool = True):
+        self._mem: dict[str, str] = {}
+        self._fh: Optional[IO[str]] = None
+        self.cache_dir = cache_dir
+        self.path: Optional[str] = None
+        self.hits = 0
+        self.misses = 0
+        self.loaded = 0
+        if cache_dir is not None:
+            os.makedirs(cache_dir, exist_ok=True)
+            self.path = os.path.join(cache_dir, SPILL_NAME)
+            if resume and os.path.exists(self.path):
+                self.loaded = self._load(self.path)
+
+    # ------------------------------------------------------------ access
+    def get(self, key: str) -> Optional[str]:
+        """Manifestation value for ``key`` or ``None`` (counts hit/miss)."""
+        value = self._mem.get(key)
+        if value is None:
+            self.misses += 1
+        else:
+            self.hits += 1
+        return value
+
+    def put(self, key: str, value: str, meta: Optional[dict] = None) -> None:
+        """Record one result; spills immediately when disk-backed."""
+        fresh = key not in self._mem
+        self._mem[key] = value
+        if fresh and self.path is not None:
+            record = {"v": KEY_VERSION, "key": key, "m": value}
+            if meta:
+                record.update(meta)
+            if self._fh is None:
+                self._fh = open(self.path, "a", buffering=1)
+            self._fh.write(json.dumps(record, sort_keys=True) + "\n")
+
+    def __contains__(self, key: str) -> bool:
+        return key in self._mem
+
+    def __len__(self) -> int:
+        return len(self._mem)
+
+    # ------------------------------------------------------------ spill
+    def _load(self, path: str) -> int:
+        loaded = 0
+        with open(path) as fh:
+            for line in fh:
+                line = line.strip()
+                if not line:
+                    continue
+                try:
+                    record = json.loads(line)
+                except json.JSONDecodeError:
+                    continue  # torn final line of an interrupted run
+                if record.get("v") != KEY_VERSION:
+                    continue
+                key, value = record.get("key"), record.get("m")
+                if isinstance(key, str) and isinstance(value, str):
+                    # last-wins: a re-executed result (resume=False rerun)
+                    # appended later must shadow the stale earlier line
+                    self._mem[key] = value
+                    loaded += 1
+        return loaded
+
+    def flush(self) -> None:
+        if self._fh is not None:
+            self._fh.flush()
+
+    def close(self) -> None:
+        if self._fh is not None:
+            self._fh.close()
+            self._fh = None
+
+    def stats(self) -> dict:
+        return {"entries": len(self._mem), "hits": self.hits,
+                "misses": self.misses, "loaded": self.loaded,
+                "path": self.path}
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        where = self.path or "memory"
+        return (f"PlanCache({len(self._mem)} entries @ {where}, "
+                f"hits={self.hits} misses={self.misses})")

@@ -1,0 +1,290 @@
+"""The :class:`ExecutionEngine`: persistent pool + cache + shards.
+
+See the package docstring for the architecture.  The engine is the one
+place faulty runs happen; :func:`repro.faults.campaign.run_campaign`
+and every :class:`~repro.core.FlipTracker` campaign/analysis method
+delegate here.
+
+Determinism: plan order — never worker arrival order — decides how
+results are assembled, shard boundaries depend only on the pending
+count and ``shard_size``, and cache keys are content-addressed
+(:mod:`repro.engine.keys`), so a campaign's result is a pure function
+of (program, plans, budget) regardless of ``workers``.
+"""
+
+from __future__ import annotations
+
+import multiprocessing as mp
+import os
+import warnings
+from typing import Iterable, Optional, Sequence
+
+from repro.engine import worker as worker_mod
+from repro.engine.cache import PlanCache
+from repro.engine.keys import encode_plan, plan_key, program_fingerprint
+from repro.engine.progress import ProgressCallback, ProgressEvent
+from repro.vm.fault import FaultPlan
+
+
+class EngineError(RuntimeError):
+    """Engine misuse (closed engine, unbound analysis, ...)."""
+
+
+class ExecutionEngine:
+    """Runs fault plans for one program, with caching and sharding.
+
+    Parameters
+    ----------
+    program:
+        The built program every plan executes against.
+    workers:
+        Process count; ``None`` auto-selects ``min(4, cores)``; ``<=1``
+        runs sequentially in-process.
+    cache / cache_dir / resume:
+        Either pass a shared :class:`PlanCache` or let the engine own
+        one (optionally disk-backed at ``cache_dir``; ``resume=False``
+        ignores pre-existing spill entries but still appends).
+    shard_size:
+        Pending plans are executed in shards of this size; each
+        finished shard is durable in the cache (checkpoint granularity)
+        and emits one :class:`ProgressEvent`.
+    min_parallel:
+        Smallest pending batch worth fanning out to the pool.
+    """
+
+    def __init__(self, program, *, workers: Optional[int] = 1,
+                 cache: Optional[PlanCache] = None,
+                 cache_dir: Optional[str] = None, resume: bool = True,
+                 shard_size: int = 64, min_parallel: int = 4):
+        if workers is None:
+            workers = min(4, os.cpu_count() or 1)
+        if shard_size < 1:
+            raise ValueError("shard_size must be >= 1")
+        self.program = program
+        self.workers = max(1, int(workers))
+        self.shard_size = shard_size
+        self.min_parallel = min_parallel
+        self._owns_cache = cache is None
+        self.cache = cache if cache is not None else \
+            PlanCache(cache_dir, resume=resume)
+        self.program_fp = program_fingerprint(program)
+        self._tracker = None
+        self._pool = None
+        self._closed = False
+        self.executed = 0      # faulty runs actually performed (parent view)
+        self.pool_starts = 0   # pools created over the engine's lifetime
+
+    # ------------------------------------------------------------ lifecycle
+    def bind_tracker(self, tracker) -> None:
+        """Attach the owning FlipTracker (enables traced analyses and
+        lets fork children inherit its warmed golden trace)."""
+        self._tracker = tracker
+
+    def close(self) -> None:
+        """Terminate the pool and flush/close an owned cache."""
+        if self._pool is not None:
+            self._pool.terminate()
+            self._pool.join()
+            self._pool = None
+            worker_mod.clear_parent_state()
+        if self._owns_cache:
+            self.cache.close()
+        else:
+            self.cache.flush()
+        self._closed = True
+
+    def __enter__(self) -> "ExecutionEngine":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+    def _check_open(self) -> None:
+        if self._closed:
+            raise EngineError("engine is closed")
+
+    # ------------------------------------------------------------ pool
+    def _ensure_pool(self):
+        """Create the persistent pool once; reused by every later call."""
+        if self._pool is not None:
+            return self._pool
+        if hasattr(os, "fork"):
+            if self._tracker is not None:
+                self._warm_tracker()
+            worker_mod.configure_parent_state(self.program, self._tracker)
+            ctx = mp.get_context("fork")
+            self._pool = ctx.Pool(self.workers)
+        else:  # pragma: no cover - no fork on this platform
+            from repro.apps.base import REGISTRY
+            if self.program.name not in REGISTRY.names():
+                warnings.warn(
+                    f"program {self.program.name!r} is not registered; "
+                    "spawn workers cannot rebuild it — running "
+                    "sequentially", RuntimeWarning, stacklevel=3)
+                return None
+            ctx = mp.get_context("spawn")
+            self._pool = ctx.Pool(
+                self.workers, initializer=worker_mod.init_spawn_worker,
+                initargs=(self.program.name, self.program.params))
+        self.pool_starts += 1
+        return self._pool
+
+    def _warm_tracker(self) -> None:
+        """Materialize everything fork children should COW-share."""
+        tracker = self._tracker
+        tracker.fault_free_trace()
+        tracker.trace_index()
+        tracker.region_model()
+        tracker.instances()
+
+    # ------------------------------------------------------------ campaigns
+    def run_plans(self, plans: Iterable[FaultPlan], *,
+                  max_instr: Optional[int] = None, label: str = "",
+                  on_progress: Optional[ProgressCallback] = None,
+                  use_cache: bool = True):
+        """Execute ``plans`` (cache-aware, sharded) -> CampaignResult.
+
+        ``result.details`` records ``executed`` (new faulty runs this
+        call), ``cached`` (plans served without execution: cache hits
+        plus within-call duplicates of an executed plan) and
+        ``shards``; ``executed + cached == total`` always.
+        """
+        from repro.faults.campaign import CampaignResult, Manifestation
+        self._check_open()
+        plans = list(plans)
+        keys = [plan_key(self.program_fp, p, max_instr) for p in plans]
+        outcomes: list[Optional[str]] = [
+            self.cache.get(k) if use_cache else None for k in keys]
+
+        # one execution per unique pending key; duplicates are aliased
+        pending: dict[str, list[int]] = {}
+        for i, value in enumerate(outcomes):
+            if value is None:
+                pending.setdefault(keys[i], []).append(i)
+        unique = sorted(indices[0] for indices in pending.values())
+
+        total = len(plans)
+        cache_hits = total - sum(len(ix) for ix in pending.values())
+        # within-call duplicates are served without execution too, so
+        # executed + cached always sums to total
+        cached = total - len(unique)
+        shards = [unique[s:s + self.shard_size]
+                  for s in range(0, len(unique), self.shard_size)]
+        done = cache_hits
+        for s_i, shard in enumerate(shards):
+            values = self._execute([plans[i] for i in shard], max_instr)
+            for i, value in zip(shard, values):
+                for alias in pending[keys[i]]:
+                    outcomes[alias] = value
+                self.cache.put(keys[i], value,
+                               meta={"plan": encode_plan(plans[i]),
+                                     "label": label})
+                done += len(pending[keys[i]])
+            self.executed += len(shard)
+            if on_progress is not None:
+                on_progress(ProgressEvent(label=label, phase="campaign",
+                                          done=done, total=total,
+                                          cached=cached, shard=s_i + 1,
+                                          shards=len(shards)))
+        if not shards and on_progress is not None:
+            on_progress(ProgressEvent(label=label, phase="campaign",
+                                      done=total, total=total,
+                                      cached=cached, shard=0, shards=0))
+        self.cache.flush()
+
+        result = CampaignResult(label=label)
+        for value in outcomes:
+            result.add(Manifestation(value))
+        result.details.update(executed=len(unique), cached=cached,
+                              shards=len(shards), total=total)
+        return result
+
+    def _execute(self, plans: Sequence[FaultPlan],
+                 max_instr: Optional[int]) -> list[str]:
+        """Run a shard, pool-parallel when worthwhile, in plan order."""
+        from repro.faults.campaign import run_plan
+        pool = (self._ensure_pool()
+                if self.workers > 1 and len(plans) >= self.min_parallel
+                else None)
+        if pool is None:
+            return [run_plan(self.program, plan, max_instr).value
+                    for plan in plans]
+        chunk = max(1, -(-len(plans) // (self.workers * 4)))
+        tasks = [(j, max_instr, plans[j:j + chunk])
+                 for j in range(0, len(plans), chunk)]
+        parts: dict[int, list[str]] = {}
+        for j, values in pool.imap_unordered(worker_mod.run_plans_task,
+                                             tasks):
+            parts[j] = values
+        out: list[str] = []
+        for j, _mi, _chunk in tasks:
+            out.extend(parts[j])
+        return out
+
+    # ------------------------------------------------------------ analyses
+    def analyze_plans(self, plans: Sequence[FaultPlan], *,
+                      max_instr: Optional[int] = None,
+                      on_progress: Optional[ProgressCallback] = None
+                      ) -> list[dict[str, set[str]]]:
+        """Patterns-by-region for many traced injections, in plan order.
+
+        Fans out across the persistent pool when possible (fork
+        children share the tracker's golden trace copy-on-write); the
+        manifestation of each traced run is cached as a by-product
+        when ``max_instr`` is provided, so a later untraced campaign
+        over the same plans is free.
+        """
+        self._check_open()
+        plans = list(plans)
+        tracker = self._tracker_for_analysis()
+        results: list[Optional[dict[str, set[str]]]] = [None] * len(plans)
+        pool = (self._ensure_pool()
+                if self.workers > 1 and len(plans) >= self.min_parallel
+                else None)
+        if pool is None:
+            for i, plan in enumerate(plans):
+                analysis = tracker.analyze_injection(plan)
+                results[i] = {region: set(pats) for region, pats
+                              in analysis.patterns_by_region().items()}
+                self._cache_manifestation(plan, analysis.manifestation.value,
+                                          max_instr)
+                self._emit_analysis_progress(on_progress, i + 1, len(plans))
+        else:
+            done = 0
+            for i, value, patterns in pool.imap_unordered(
+                    worker_mod.analyze_task, list(enumerate(plans))):
+                results[i] = {region: set(pats)
+                              for region, pats in patterns.items()}
+                self._cache_manifestation(plans[i], value, max_instr)
+                done += 1
+                self._emit_analysis_progress(on_progress, done, len(plans))
+        self.cache.flush()
+        return results  # type: ignore[return-value]
+
+    def _tracker_for_analysis(self):
+        if self._tracker is None:
+            from repro.core.fliptracker import FlipTracker
+            self._tracker = FlipTracker(self.program, workers=1)
+        return self._tracker
+
+    def _cache_manifestation(self, plan: FaultPlan, value: str,
+                             max_instr: Optional[int]) -> None:
+        if max_instr is not None:
+            self.cache.put(plan_key(self.program_fp, plan, max_instr),
+                           value, meta={"plan": encode_plan(plan),
+                                        "label": "analysis"})
+
+    @staticmethod
+    def _emit_analysis_progress(on_progress, done: int, total: int) -> None:
+        if on_progress is not None:
+            on_progress(ProgressEvent(label="analysis", phase="analysis",
+                                      done=done, total=total,
+                                      shard=done, shards=total))
+
+    # ------------------------------------------------------------ stats
+    def stats(self) -> dict:
+        return {"workers": self.workers, "executed": self.executed,
+                "pool_starts": self.pool_starts,
+                "pool_alive": self._pool is not None,
+                "shard_size": self.shard_size,
+                "cache": self.cache.stats()}

@@ -1,0 +1,74 @@
+"""Content-addressed cache keys for plan results.
+
+A cached manifestation is only reusable if *everything* that determines
+the outcome of a faulty run is folded into its key:
+
+* the program — named by a fingerprint of its printed IR (not just the
+  registry name: two ad-hoc programs may share a name, and a rebuilt
+  app with different params is a different program);
+* the :class:`~repro.vm.fault.FaultPlan` (all five fields);
+* the instruction budget (``max_instr``), which decides whether a
+  looping run is classified as a hang/crash.
+
+Keys are SHA-256 hex digests of a canonical JSON encoding, so they are
+stable across processes, platforms and ``PYTHONHASHSEED`` values —
+``hash()`` must never leak into a key.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from typing import Mapping, Optional
+
+from repro.vm.fault import FaultPlan
+
+#: bump when the key encoding changes; stale spill files are ignored
+KEY_VERSION = 1
+
+_PLAN_FIELDS = ("trigger", "mode", "bit", "loc", "width")
+
+
+def encode_plan(plan: FaultPlan) -> dict:
+    """Canonical JSON-safe dict image of a plan (cache/spill encoding)."""
+    return {f: getattr(plan, f) for f in _PLAN_FIELDS}
+
+
+def decode_plan(payload: Mapping) -> FaultPlan:
+    """Inverse of :func:`encode_plan` (validates via ``__post_init__``)."""
+    return FaultPlan(trigger=payload["trigger"], mode=payload["mode"],
+                     bit=payload["bit"], loc=payload.get("loc"),
+                     width=payload.get("width", 64))
+
+
+def _canonical(obj) -> str:
+    return json.dumps(obj, sort_keys=True, separators=(",", ":"))
+
+
+def module_fingerprint(module) -> str:
+    """Digest of the module's printed IR (content, not identity)."""
+    from repro.ir.printer import format_module
+    text = format_module(module)
+    return hashlib.sha256(text.encode()).hexdigest()[:16]
+
+
+def program_fingerprint(program) -> str:
+    """Stable identity of a built program: name, params, module IR."""
+    payload = _canonical({
+        "name": program.name,
+        "params": {k: repr(v) for k, v in sorted(program.params.items())},
+        "module": module_fingerprint(program.module),
+    })
+    return hashlib.sha256(payload.encode()).hexdigest()[:24]
+
+
+def plan_key(program_fp: str, plan: FaultPlan,
+             max_instr: Optional[int]) -> str:
+    """Content address of one (program, plan, budget) execution."""
+    payload = _canonical({
+        "v": KEY_VERSION,
+        "prog": program_fp,
+        "plan": encode_plan(plan),
+        "max_instr": max_instr,
+    })
+    return hashlib.sha256(payload.encode()).hexdigest()

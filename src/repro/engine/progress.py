@@ -1,0 +1,58 @@
+"""Streaming progress events shared by the engine and the scheduler.
+
+One event vocabulary covers every long-running producer: campaign
+shards (:meth:`~repro.engine.ExecutionEngine.run_plans`), traced
+analyses (:meth:`~repro.engine.ExecutionEngine.analyze_plans`) and
+simulated-MPI scheduler passes
+(:meth:`~repro.parallel.scheduler.RankScheduler.run`), so callers can
+hang one callback on all of them.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable
+
+
+@dataclass(frozen=True)
+class ProgressEvent:
+    """One unit of streamed progress.
+
+    Attributes
+    ----------
+    label:
+        Producer label (campaign label, app name, ...).
+    phase:
+        ``"campaign"``, ``"analysis"`` or ``"spmd"``.
+    done:
+        Work units finished so far, including cache hits.
+    total:
+        Work units in the whole job.
+    cached:
+        Units served from the plan-result cache (no execution).
+    shard:
+        1-based index of the shard (or scheduler pass) just finished.
+    shards:
+        Total shard count (0 when unknown up front, e.g. SPMD passes).
+    """
+
+    label: str
+    phase: str
+    done: int
+    total: int
+    cached: int = 0
+    shard: int = 0
+    shards: int = 0
+
+    @property
+    def fraction(self) -> float:
+        return self.done / self.total if self.total else 1.0
+
+    def __str__(self) -> str:
+        extra = f", {self.cached} cached" if self.cached else ""
+        return (f"[{self.phase}] {self.label or 'job'}: "
+                f"{self.done}/{self.total}{extra} "
+                f"(shard {self.shard}/{self.shards})")
+
+
+ProgressCallback = Callable[[ProgressEvent], None]

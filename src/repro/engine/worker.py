@@ -1,0 +1,77 @@
+"""Worker-process side of the execution engine.
+
+One module-level state dict serves both start methods:
+
+* **fork** — the parent calls :func:`configure_parent_state` right
+  before creating the pool; children inherit the built program (and,
+  when bound, the whole warmed tracker with its golden trace) via
+  copy-on-write, so nothing large ever crosses a pipe;
+* **spawn** — :func:`init_spawn_worker` rebuilds the program from the
+  app registry inside the child; traced analyses lazily build a
+  private tracker there (one golden trace per worker, amortized over
+  the pool's lifetime).
+
+Task payloads carry explicit indices so the engine can reassemble
+results in plan order no matter the arrival order — the root of the
+workers=1 vs workers=N determinism guarantee.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+from repro.vm.fault import FaultPlan
+
+#: per-process worker state: {"program": Program, "tracker": FlipTracker|None}
+_STATE: dict = {}
+
+
+def configure_parent_state(program, tracker=None) -> None:
+    """Install state in the *parent* for fork children to inherit."""
+    _STATE["program"] = program
+    _STATE["tracker"] = tracker
+
+
+def clear_parent_state() -> None:
+    _STATE.clear()
+
+
+def init_spawn_worker(app_name: str, params: dict) -> None:
+    """Spawn-mode initializer: rebuild the program from the registry."""
+    import repro.apps  # populate the registry  # noqa: F401
+    from repro.apps.base import REGISTRY
+    _STATE["program"] = REGISTRY.build(app_name, **params)
+    _STATE["tracker"] = None
+
+
+def _tracker():
+    tracker = _STATE.get("tracker")
+    if tracker is None:
+        # spawn fallback: build (and keep) a private tracker
+        from repro.core.fliptracker import FlipTracker
+        tracker = FlipTracker(_STATE["program"], workers=1)
+        _STATE["tracker"] = tracker
+    return tracker
+
+
+def run_plans_task(task: tuple[int, Optional[int], Sequence[FaultPlan]]
+                   ) -> tuple[int, list[str]]:
+    """Execute one chunk of untraced faulty runs -> manifestation values."""
+    from repro.faults.campaign import run_plan
+    index, max_instr, plans = task
+    program = _STATE["program"]
+    return index, [run_plan(program, plan, max_instr).value
+                   for plan in plans]
+
+
+def analyze_task(task: tuple[int, FaultPlan]
+                 ) -> tuple[int, str, dict[str, list[str]]]:
+    """One traced analysis -> (index, manifestation, patterns-by-region).
+
+    Pattern sets are sorted into lists so the wire format is canonical.
+    """
+    index, plan = task
+    analysis = _tracker().analyze_injection(plan)
+    patterns = {region: sorted(pats) for region, pats
+                in analysis.patterns_by_region().items()}
+    return index, analysis.manifestation.value, patterns

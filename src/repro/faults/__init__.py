@@ -1,15 +1,18 @@
 """Fault injection: sites, plans, campaigns, statistical sizing."""
 
-from repro.faults.campaign import (CampaignResult, Manifestation,
+from repro.faults.campaign import (CampaignResult, CheckerError,
+                                   Manifestation, classify_check,
                                    run_campaign, run_plan)
-from repro.faults.sites import (SiteInfo, input_site_population,
+from repro.faults.sites import (NoFaultSitesError, SiteInfo,
+                                input_site_population,
                                 internal_site_population, result_width,
                                 sample_input_plan, sample_internal_plan)
 from repro.faults.statistics import sample_size, z_score
 
 __all__ = [
-    "CampaignResult", "Manifestation", "run_campaign", "run_plan",
-    "SiteInfo", "input_site_population", "internal_site_population",
-    "result_width", "sample_input_plan", "sample_internal_plan",
-    "sample_size", "z_score",
+    "CampaignResult", "CheckerError", "Manifestation", "classify_check",
+    "run_campaign", "run_plan",
+    "NoFaultSitesError", "SiteInfo", "input_site_population",
+    "internal_site_population", "result_width", "sample_input_plan",
+    "sample_internal_plan", "sample_size", "z_score",
 ]

@@ -11,20 +11,21 @@ paper's fault-manifestation model (Section II-A1):
 
 ``success_rate = #SUCCESS / #injections`` (Equation 1).
 
-Campaigns parallelize across processes: workers rebuild the program
-from ``(app name, params)`` via the app registry, so only small plan
-objects cross process boundaries.
+Execution is delegated to :mod:`repro.engine`: a persistent worker
+pool, a content-addressed plan→result cache and sharded, resumable
+campaigns.  :func:`run_campaign` remains the convenience entry point —
+it builds a short-lived engine per call; anything that runs more than
+one campaign should hold an :class:`~repro.engine.ExecutionEngine` (or
+a :class:`~repro.core.FlipTracker`, which owns one) instead.
 """
 
 from __future__ import annotations
 
-import multiprocessing as mp
-import os
 from dataclasses import dataclass, field
 from enum import Enum
-from typing import Iterable, Optional, Sequence
+from typing import Iterable, Optional
 
-from repro.apps.base import Program, REGISTRY
+from repro.apps.base import Program
 from repro.vm.errors import VMError
 from repro.vm.fault import FaultPlan
 
@@ -35,6 +36,40 @@ class Manifestation(Enum):
     SUCCESS = "success"
     FAILED = "failed"
     CRASHED = "crashed"
+
+
+class CheckerError(RuntimeError):
+    """The app's verification function itself is broken.
+
+    Raised when ``program.check`` dies with an exception that corrupted
+    program *state* cannot plausibly produce (missing scalar, coding
+    bug, ...).  Distinct from ``FAILED`` — a checker bug invalidates
+    the whole campaign and must not be scored as an SDC.
+    """
+
+
+#: exceptions a verification phase may legitimately raise when it reads
+#: fault-corrupted state (type-confused values, NaN-sized indices, ...);
+#: these classify the *run*, not the checker
+CHECK_STATE_ERRORS = (TypeError, ValueError, ArithmeticError, IndexError)
+
+
+def classify_check(program: Program, interp) -> Manifestation:
+    """Run the verification phase of a completed faulty run.
+
+    Corrupted-state exceptions (see :data:`CHECK_STATE_ERRORS`) mean
+    verification rejected the run: ``FAILED``.  Anything else is a bug
+    in the checker and raises :class:`CheckerError`.
+    """
+    try:
+        ok = program.check(interp)
+    except CHECK_STATE_ERRORS:
+        return Manifestation.FAILED
+    except Exception as exc:
+        raise CheckerError(
+            f"{program.name}: verification function raised "
+            f"{type(exc).__name__}: {exc}") from exc
+    return Manifestation.SUCCESS if ok else Manifestation.FAILED
 
 
 @dataclass
@@ -56,6 +91,17 @@ class CampaignResult:
             self.crashed += 1
 
     def merge(self, other: "CampaignResult") -> "CampaignResult":
+        if self.details or other.details:
+            # fold provenance before the counts change: the executed/
+            # cached properties fall back to the *current* totals
+            merged = {
+                "executed": self.executed + other.executed,
+                "cached": self.cached + other.cached,
+                "shards": (self.details.get("shards", 0)
+                           + other.details.get("shards", 0)),
+                "total": self.total + other.total,
+            }
+            self.details.update(merged)
         self.success += other.success
         self.failed += other.failed
         self.crashed += other.crashed
@@ -70,10 +116,24 @@ class CampaignResult:
         """Equation 1 of the paper."""
         return self.success / self.total if self.total else 0.0
 
+    @property
+    def executed(self) -> int:
+        """Faulty runs actually performed by the producing call
+        (0 for a fully cache-served campaign; defaults to ``total``
+        for results built outside the engine)."""
+        return self.details.get("executed", self.total)
+
+    @property
+    def cached(self) -> int:
+        """Plans served from the plan-result cache."""
+        return self.details.get("cached", 0)
+
     def __str__(self) -> str:
+        extra = f" [{self.cached} cached]" if self.cached else ""
         return (f"{self.label or 'campaign'}: {self.total} injections, "
                 f"success_rate={self.success_rate:.3f} "
-                f"(ok={self.success} sdc={self.failed} crash={self.crashed})")
+                f"(ok={self.success} sdc={self.failed} "
+                f"crash={self.crashed}){extra}")
 
 
 def run_plan(program: Program, plan: FaultPlan,
@@ -88,57 +148,26 @@ def run_plan(program: Program, plan: FaultPlan,
         # type-confused corrupted values surfacing as Python-level errors
         # correspond to machine-level traps
         return Manifestation.CRASHED
-    try:
-        ok = program.check(interp)
-    except Exception:
-        return Manifestation.FAILED
-    return Manifestation.SUCCESS if ok else Manifestation.FAILED
-
-
-# ---------------------------------------------------------------- worker pool
-_WORKER_PROGRAM: Optional[Program] = None
-_WORKER_MAXI: Optional[int] = None
-
-
-def _init_worker(app_name: str, params: dict,
-                 max_instr: Optional[int]) -> None:
-    import repro.apps  # ensure the registry is populated  # noqa: F401
-    global _WORKER_PROGRAM, _WORKER_MAXI
-    _WORKER_PROGRAM = REGISTRY.build(app_name, **params)
-    _WORKER_MAXI = max_instr
-
-
-def _run_chunk(plans: Sequence[FaultPlan]) -> list[str]:
-    assert _WORKER_PROGRAM is not None
-    return [run_plan(_WORKER_PROGRAM, p, _WORKER_MAXI).value for p in plans]
+    return classify_check(program, interp)
 
 
 def run_campaign(program: Program, plans: Iterable[FaultPlan], *,
                  workers: Optional[int] = None,
                  max_instr: Optional[int] = None,
-                 label: str = "") -> CampaignResult:
+                 label: str = "",
+                 cache=None, cache_dir: Optional[str] = None,
+                 resume: bool = True,
+                 on_progress=None) -> CampaignResult:
     """Run all ``plans`` against ``program`` and aggregate outcomes.
 
     ``workers=None`` auto-selects (#cores, capped at 4); ``workers<=1``
     runs sequentially in-process, which is what the unit tests and the
-    pytest benchmarks use for determinism of timing.
+    pytest benchmarks use for determinism of timing.  ``cache`` /
+    ``cache_dir`` feed the engine's plan-result cache (see
+    :mod:`repro.engine`); results are identical for any worker count.
     """
-    plans = list(plans)
-    result = CampaignResult(label=label)
-    if workers is None:
-        workers = min(4, os.cpu_count() or 1)
-    if workers <= 1 or len(plans) < 8:
-        for plan in plans:
-            result.add(run_plan(program, plan, max_instr))
-        return result
-
-    chunk = max(1, len(plans) // (workers * 8))
-    chunks = [plans[i:i + chunk] for i in range(0, len(plans), chunk)]
-    ctx = mp.get_context("fork") if hasattr(os, "fork") else mp.get_context()
-    with ctx.Pool(workers, initializer=_init_worker,
-                  initargs=(program.name, program.params,
-                            max_instr)) as pool:
-        for outcomes in pool.imap_unordered(_run_chunk, chunks):
-            for value in outcomes:
-                result.add(Manifestation(value))
-    return result
+    from repro.engine import ExecutionEngine
+    with ExecutionEngine(program, workers=workers, cache=cache,
+                         cache_dir=cache_dir, resume=resume) as engine:
+        return engine.run_plans(plans, max_instr=max_instr, label=label,
+                                on_progress=on_progress)

@@ -31,6 +31,15 @@ _UNTARGETABLE = frozenset({oc.BR, oc.CBR, oc.CALL, oc.RET, oc.EMIT, oc.NOP,
                            oc.MPI_BARRIER, oc.MPI_SEND, oc.ALLOCA})
 
 
+class NoFaultSitesError(RuntimeError):
+    """Plan sampling could not draw a single site for a target.
+
+    Raised (rather than silently returning an empty plan list) when a
+    campaign asks for ``n > 0`` plans but the target population is
+    empty or rejection sampling exhausted its draw budget — a campaign
+    over zero plans would report a meaningless 0/0 success rate."""
+
+
 @dataclass(frozen=True)
 class SiteInfo:
     """Descriptive metadata kept alongside a plan for reporting."""

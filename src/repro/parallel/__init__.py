@@ -1,8 +1,13 @@
-"""Simulated MPI: communicator, rank scheduler, tracing overhead."""
+"""Simulated MPI: communicator, rank scheduler, tracing overhead.
 
+Scheduler passes stream :class:`~repro.engine.ProgressEvent` objects —
+the same vocabulary the execution engine's campaigns use.
+"""
+
+from repro.engine.progress import ProgressEvent
 from repro.parallel.comm import ANY_SOURCE, SimComm
 from repro.parallel.overhead import OverheadRow, measure_tracing_overhead
 from repro.parallel.scheduler import JobResult, RankScheduler
 
-__all__ = ["ANY_SOURCE", "SimComm", "OverheadRow",
+__all__ = ["ANY_SOURCE", "SimComm", "OverheadRow", "ProgressEvent",
            "measure_tracing_overhead", "JobResult", "RankScheduler"]

@@ -9,6 +9,11 @@ Determinism: the visit order is either fixed round-robin (default) or
 a seeded shuffle per pass (``shuffle_seed``), which perturbs message
 arrival orders — the nondeterminism source that the communicator's
 record-and-replay mechanism compensates for.
+
+Progress streams through the same :class:`~repro.engine.ProgressEvent`
+vocabulary the execution engine uses (phase ``"spmd"``, one event per
+scheduler pass), so a caller can hang one callback on campaigns and
+simulated jobs alike.
 """
 
 from __future__ import annotations
@@ -16,6 +21,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Callable, Optional
 
+from repro.engine.progress import ProgressCallback, ProgressEvent
 from repro.ir.module import Module
 from repro.parallel.comm import SimComm
 from repro.util.rng import DeterministicRNG
@@ -59,7 +65,8 @@ class RankScheduler:
                                   max_instr=max_instr)
                       for r in range(nranks)]
 
-    def run(self, entry: str = "main", args: tuple = ()) -> JobResult:
+    def run(self, entry: str = "main", args: tuple = (),
+            on_progress: Optional[ProgressCallback] = None) -> JobResult:
         for interp in self.ranks:
             interp.start(entry, args)
         unfinished = set(range(self.nranks))
@@ -82,4 +89,9 @@ class RankScheduler:
                 blocked = sorted(unfinished)
                 raise MPIDeadlock(
                     f"all unfinished ranks blocked: {blocked}")
+            if on_progress is not None:
+                on_progress(ProgressEvent(
+                    label=entry, phase="spmd",
+                    done=self.nranks - len(unfinished),
+                    total=self.nranks, shard=passes))
         return JobResult(self.ranks, passes, self.comm)

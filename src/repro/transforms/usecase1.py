@@ -41,7 +41,6 @@ from dataclasses import dataclass, field
 
 from repro.apps.base import REGISTRY
 from repro.core.fliptracker import FlipTracker
-from repro.faults.campaign import run_campaign
 from repro.trace.events import R_FN
 from repro.util.timing import Timer
 from repro.vm.fault import FaultPlan
@@ -142,22 +141,24 @@ def evaluate_variant(variant: str, *, n_injections: int = 80,
     if campaign not in ("whole", "focused"):
         raise ValueError(f"campaign must be whole|focused, got {campaign!r}")
     program = REGISTRY.build("cg", variant=variant)
-    ft = FlipTracker(program, seed=seed, workers=workers)
     extra: dict = {"campaign": campaign}
 
-    if campaign == "whole":
-        result = ft.whole_program_campaign("internal", n=n_injections)
-    else:
-        windows = data_resident_plans(program, ft.fault_free_trace(), seed,
-                                      max(1, n_injections // 2))
-        result = None
-        for key, plans in windows.items():
-            res = run_campaign(program, plans, workers=workers,
-                               max_instr=ft.faulty_budget,
-                               label=f"cg-{variant}/{key}")
-            extra[f"{key}_sr"] = res.success_rate
-            extra[f"{key}_n"] = res.total
-            result = res if result is None else result.merge(res)
+    with FlipTracker(program, seed=seed, workers=workers) as ft:
+        if campaign == "whole":
+            result = ft.whole_program_campaign("internal", n=n_injections)
+        else:
+            windows = data_resident_plans(program, ft.fault_free_trace(),
+                                          seed, max(1, n_injections // 2))
+            result = None
+            for key, plans in windows.items():
+                # the tracker's persistent engine serves both windows
+                # with one worker pool (and caches every executed plan)
+                res = ft.engine.run_plans(plans,
+                                          max_instr=ft.faulty_budget,
+                                          label=f"cg-{variant}/{key}")
+                extra[f"{key}_sr"] = res.success_rate
+                extra[f"{key}_n"] = res.total
+                result = res if result is None else result.merge(res)
 
     timer = Timer()
     for _ in range(timing_runs):

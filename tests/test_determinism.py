@@ -1,0 +1,100 @@
+"""Engine determinism suite (the tentpole's shipping contract).
+
+Identical plans must yield identical campaign results regardless of
+worker count, and a cache-resumed campaign must reproduce the fresh
+run byte-for-byte while performing **zero** new faulty runs.  Checked
+across three studied apps (cg, kmeans, lulesh) for ``region_campaign``
+and on kmeans for the traced ``region_patterns`` sweep (cg/lulesh
+pattern sweeps take minutes; the campaign path exercises the identical
+pool/shard machinery for them).
+
+"Byte-identical" is enforced by comparing a canonical JSON
+serialization of the outcome payload — not object equality, which
+could mask ordering differences.
+"""
+
+import json
+import os
+
+import pytest
+
+from repro.apps import REGISTRY
+from repro.core import FlipTracker
+
+APPS = ("cg", "kmeans", "lulesh")
+SEED = 20181111
+N = 8
+
+pytestmark = pytest.mark.skipif(not hasattr(os, "fork"),
+                                reason="worker pools need fork here")
+
+
+def outcome_bytes(result) -> bytes:
+    """Canonical serialization of what a campaign *measured* (counts,
+    label), excluding provenance fields like executed/cached that
+    legitimately differ between a fresh and a resumed run."""
+    return json.dumps({
+        "label": result.label, "success": result.success,
+        "failed": result.failed, "crashed": result.crashed,
+        "total": result.total,
+    }, sort_keys=True).encode()
+
+
+def patterns_bytes(found: dict) -> bytes:
+    return json.dumps({region: sorted(pats)
+                       for region, pats in sorted(found.items())},
+                      sort_keys=True).encode()
+
+
+def first_loop_region(ft) -> str:
+    return next(i for i in ft.instances()
+                if i.region.kind == "loop" and i.index == 0).region.name
+
+
+@pytest.mark.parametrize("app", APPS)
+class TestWorkerCountInvariance:
+    def test_region_campaign_w1_equals_w4(self, app):
+        with FlipTracker(REGISTRY.build(app), seed=SEED, workers=1) as w1, \
+                FlipTracker(REGISTRY.build(app), seed=SEED,
+                            workers=4) as w4:
+            region = first_loop_region(w1)
+            r1 = w1.region_campaign(region, "internal", n=N)
+            r4 = w4.region_campaign(region, "internal", n=N)
+            assert outcome_bytes(r1) == outcome_bytes(r4)
+
+    def test_fresh_vs_cache_resumed(self, app, tmp_path):
+        cache_dir = str(tmp_path / app)
+        with FlipTracker(REGISTRY.build(app), seed=SEED, workers=1,
+                         cache_dir=cache_dir) as fresh:
+            region = first_loop_region(fresh)
+            r_fresh = fresh.region_campaign(region, "internal", n=N)
+        with FlipTracker(REGISTRY.build(app), seed=SEED, workers=1,
+                         cache_dir=cache_dir) as resumed:
+            r_resumed = resumed.region_campaign(region, "internal", n=N)
+        assert outcome_bytes(r_fresh) == outcome_bytes(r_resumed)
+        assert r_fresh.executed > 0
+        assert r_resumed.executed == 0  # zero new faulty runs
+        assert r_resumed.cached == N
+
+
+class TestRegionPatternsInvariance:
+    def test_kmeans_patterns_w1_equals_w4(self):
+        with FlipTracker(REGISTRY.build("kmeans"), seed=SEED,
+                         workers=1) as w1, \
+                FlipTracker(REGISTRY.build("kmeans"), seed=SEED,
+                            workers=4) as w4:
+            p1 = w1.region_patterns(runs_per_kind=1, loop_only=True)
+            p4 = w4.region_patterns(runs_per_kind=1, loop_only=True)
+            assert patterns_bytes(p1) == patterns_bytes(p4)
+            assert any(p1.values())  # the sweep saw at least one pattern
+
+    def test_shard_size_does_not_change_outcomes(self):
+        with FlipTracker(REGISTRY.build("kmeans"), seed=SEED, workers=1,
+                         shard_size=3) as small, \
+                FlipTracker(REGISTRY.build("kmeans"), seed=SEED,
+                            workers=1, shard_size=64) as big:
+            region = first_loop_region(small)
+            r_small = small.region_campaign(region, "internal", n=10)
+            r_big = big.region_campaign(region, "internal", n=10)
+            assert outcome_bytes(r_small) == outcome_bytes(r_big)
+            assert r_small.details["shards"] > r_big.details["shards"]

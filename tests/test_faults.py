@@ -149,6 +149,18 @@ class TestCampaign:
         assert (a.success, a.failed, a.crashed) == (3, 1, 3)
         assert a.total == 7
 
+    def test_merge_folds_engine_provenance(self):
+        a = CampaignResult(success=4, label="w1")
+        a.details.update(executed=4, cached=0, shards=1, total=4)
+        b = CampaignResult(success=3, failed=1, label="w2")
+        b.details.update(executed=0, cached=4, shards=0, total=4)
+        a.merge(b)
+        assert a.executed == 4 and a.cached == 4
+        assert a.details["total"] == a.total == 8
+        # detail-less results keep the executed==total fallback exact
+        c = CampaignResult(success=1).merge(CampaignResult(failed=1))
+        assert c.executed == c.total == 2 and c.details == {}
+
     def test_run_plan_success_and_failure(self):
         prog = tiny_program()
         ft = FlipTracker(prog, seed=4)
