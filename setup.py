@@ -10,14 +10,16 @@ from setuptools import find_packages, setup
 
 setup(
     name="repro",
-    version="1.1.0",
+    version="1.2.0",
     package_dir={"": "src"},
     packages=find_packages(where="src"),
     python_requires=">=3.10",
     install_requires=["numpy>=1.24", "scipy>=1.10", "networkx>=3.0"],
     extras_require={
-        # tier-1 suite (tests/) uses hypothesis; benchmarks/ also needs
-        # pytest-benchmark — mirrors .github/workflows/ci.yml
+        # the single source of truth for test dependencies: every CI
+        # job installs `.[test]` (tests/ uses hypothesis; benchmarks/
+        # also needs pytest-benchmark) — never duplicate this list in
+        # .github/workflows/ci.yml
         "test": ["pytest", "hypothesis", "pytest-benchmark"],
     },
     entry_points={"console_scripts": ["repro = repro.cli:main"]},

@@ -13,6 +13,7 @@ Exposes the FlipTracker pipeline for interactive exploration:
 ``rates``      the six pattern-rate features of a program (Table IV row)
 ``dot``        DDDG DOT export of a region instance (Graphviz)
 ``sample``     Leveugle sample-size calculator (Section IV-C)
+``serve``      run a TCP shard server for ``--backend socket`` clients
 =============  =============================================================
 
 Every command is deterministic under ``--seed``.  The engine flags
@@ -20,7 +21,10 @@ Every command is deterministic under ``--seed``.  The engine flags
 control the unified execution engine (see :mod:`repro.engine`):
 ``--cache-dir`` spills every executed plan's result to a JSON-lines
 file, and ``--resume`` replays it so a repeated or interrupted campaign
-skips injections that already ran.
+skips injections that already ran.  ``--backend`` picks the shard
+substrate (``local``/``async``/``socket`` — see
+:mod:`repro.engine.backends`); with ``socket``, ``--backend-addr``
+names the shard server(s) started via ``serve``.
 """
 
 from __future__ import annotations
@@ -38,7 +42,8 @@ def _tracker(args) -> FlipTracker:
     program = REGISTRY.build(args.app)
     return FlipTracker(program, seed=args.seed, workers=args.workers,
                        cache_dir=args.cache_dir, resume=args.resume,
-                       shard_size=args.shard_size)
+                       shard_size=args.shard_size, backend=args.backend,
+                       backend_addr=args.backend_addr)
 
 
 def cmd_apps(args) -> int:
@@ -194,6 +199,22 @@ def cmd_sample(args) -> int:
     return 0
 
 
+def cmd_serve(args) -> int:
+    from repro.engine.backends import ShardServer
+    program = REGISTRY.build(args.app)
+    server = ShardServer(program, host=args.host, port=args.port)
+    # the "serving" line marks readiness; scripts wait for it
+    print(f"serving {args.app} fp={server.fingerprint} "
+          f"on {server.host}:{server.port}", flush=True)
+    try:
+        server.serve_forever()
+    except KeyboardInterrupt:  # pragma: no cover - interactive stop
+        pass
+    finally:
+        server.stop()
+    return 0
+
+
 def _positive_int(text: str) -> int:
     value = int(text)
     if value < 1:
@@ -217,6 +238,15 @@ def build_parser() -> argparse.ArgumentParser:
                         "previously executed injections are skipped")
     p.add_argument("--shard-size", type=_positive_int, default=64,
                    help="campaign checkpoint/progress granularity")
+    p.add_argument("--backend", choices=("local", "async", "socket"),
+                   default="local",
+                   help="shard-execution backend: in-host pool, asyncio "
+                        "worker fan-out, or remote TCP shard servers "
+                        "(byte-identical results either way)")
+    p.add_argument("--backend-addr", default=None, metavar="HOST:PORT[,..]",
+                   help="shard server address(es) for --backend socket "
+                        "(default 127.0.0.1:7453; start one with "
+                        "'repro serve <app>')")
     sub = p.add_subparsers(dest="command", required=True)
 
     sub.add_parser("apps", help="list study programs")
@@ -271,6 +301,11 @@ def build_parser() -> argparse.ArgumentParser:
     sp.add_argument("--confidence", type=float, default=0.95)
     sp.add_argument("--margin", type=float, default=0.03)
 
+    sp = app_cmd("serve", "TCP shard server for --backend socket")
+    sp.add_argument("--host", default="127.0.0.1")
+    sp.add_argument("--port", type=int, default=7453,
+                    help="listen port (0 = ephemeral, printed on start)")
+
     return p
 
 
@@ -278,7 +313,7 @@ _HANDLERS = {
     "apps": cmd_apps, "trace": cmd_trace, "regions": cmd_regions,
     "io": cmd_io, "inject": cmd_inject, "acl": cmd_acl,
     "campaign": cmd_campaign, "rates": cmd_rates, "dot": cmd_dot,
-    "sample": cmd_sample,
+    "sample": cmd_sample, "serve": cmd_serve,
 }
 
 

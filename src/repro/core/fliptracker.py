@@ -84,17 +84,28 @@ class FlipTracker:
         Reuse pre-existing spill entries from ``cache_dir``.
     shard_size:
         Campaign checkpoint/progress granularity.
+    backend:
+        Shard-execution substrate for campaigns: ``"local"`` (the
+        in-host pool, default), ``"async"``, ``"socket"``, or a
+        pre-built :class:`~repro.engine.backends.Backend` instance
+        (see :mod:`repro.engine.backends`).
+    backend_addr:
+        ``"host:port[,host:port...]"`` of running shard servers, for
+        ``backend="socket"``.
     """
 
     def __init__(self, program: Program, seed: int = 1234,
                  workers: int = 1, *, cache_dir: Optional[str] = None,
-                 resume: bool = True, shard_size: int = 64):
+                 resume: bool = True, shard_size: int = 64,
+                 backend=None, backend_addr=None):
         self.program = program
         self.seed = seed
         self.workers = workers
         self.cache_dir = cache_dir
         self.resume = resume
         self.shard_size = shard_size
+        self.backend = backend
+        self.backend_addr = backend_addr
         self._engine: Optional[ExecutionEngine] = None
         self._ff: Optional[Trace] = None
         self._index: Optional[TraceIndex] = None
@@ -111,7 +122,8 @@ class FlipTracker:
             self._engine = ExecutionEngine(
                 self.program, workers=self.workers,
                 cache_dir=self.cache_dir, resume=self.resume,
-                shard_size=self.shard_size)
+                shard_size=self.shard_size, backend=self.backend,
+                backend_addr=self.backend_addr)
             self._engine.bind_tracker(self)
         return self._engine
 

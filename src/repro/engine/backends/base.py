@@ -1,0 +1,89 @@
+"""The backend seam: how a shard of fault plans gets executed.
+
+:meth:`ExecutionEngine.run_plans` owns *what* runs (cache lookups,
+shard boundaries, result assembly, progress, checkpointing) and a
+:class:`Backend` owns *where* it runs.  The contract is deliberately
+tiny so that scaling work — remote shards, async fan-out, batching —
+is a new backend, not an engine rewrite:
+
+* the engine hands over the pending shards (plan order, already
+  deduplicated and cache-filtered);
+* the backend yields ``(shard_index, values)`` pairs **in shard
+  order**, whatever order the underlying substrate completed them in;
+* ``values`` are manifestation strings, one per plan, in plan order.
+
+Because the engine alone touches the :class:`~repro.engine.cache.
+PlanCache` and assembles results by plan index, any backend that
+honors this contract automatically inherits the determinism contract:
+``workers=1`` and every backend are byte-identical.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, Optional, Sequence
+
+from repro.vm.fault import FaultPlan
+
+#: manifestation values for one shard, in plan order
+ShardValues = "list[str]"
+
+
+class Backend:
+    """Abstract shard executor bound to one :class:`ExecutionEngine`."""
+
+    #: registry name; also reported by ``ExecutionEngine.stats()``
+    name = "?"
+
+    def __init__(self) -> None:
+        self.engine = None
+        #: index of the shard whose execution failed fatally (worker
+        #: death, lost server); lets ``ExecutionEngine.close()`` report
+        #: *which* shard was lost instead of hanging on a broken pool
+        self.failed_shard: Optional[int] = None
+
+    # ------------------------------------------------------------ lifecycle
+    def bind(self, engine) -> None:
+        """Attach the owning engine (program, workers, min_parallel)."""
+        self.engine = engine
+
+    def close(self) -> None:
+        """Release every resource (pools, sockets, worker processes)."""
+
+    # ------------------------------------------------------------ execution
+    def run_shards(self, shards: Sequence[Sequence[FaultPlan]],
+                   max_instr: Optional[int]
+                   ) -> Iterator[tuple[int, list[str]]]:
+        """Execute all shards, yielding ``(index, values)`` in shard order.
+
+        Implementations may complete shards out of order internally but
+        must reassemble before yielding; the engine checkpoints each
+        yielded shard into the cache as it arrives.
+        """
+        raise NotImplementedError
+
+    def run_sequential(self, plans: Sequence[FaultPlan],
+                       max_instr: Optional[int]) -> list[str]:
+        """In-process reference execution (shared fallback path)."""
+        from repro.faults.campaign import run_plan
+        return [run_plan(self.engine.program, plan, max_instr).value
+                for plan in plans]
+
+
+def reassemble(completions, n_shards: int
+               ) -> Iterator[tuple[int, list[str]]]:
+    """Order an out-of-order ``(index, values)`` stream by shard index.
+
+    ``completions`` is any iterator of ``(index, values)`` pairs (or
+    raised exceptions); pairs are buffered until their index is next in
+    line, so callers downstream always observe shard order.
+    """
+    buffered: dict[int, list[str]] = {}
+    next_index = 0
+    for index, values in completions:
+        buffered[index] = values
+        while next_index in buffered:
+            yield next_index, buffered.pop(next_index)
+            next_index += 1
+    if next_index != n_shards:  # pragma: no cover - backend bug guard
+        missing = sorted(set(range(n_shards)) - set(range(next_index)))
+        raise RuntimeError(f"backend lost shards {missing}")

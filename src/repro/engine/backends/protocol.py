@@ -1,0 +1,183 @@
+"""Length-prefixed JSON shard protocol (async + socket backends).
+
+Every frame is a 4-byte big-endian length followed by a UTF-8 JSON
+object.  The conversation between a shard client and a shard worker:
+
+``hello``
+    Client opens with ``{"op": "hello", "v": KEY_VERSION, "fp": ...}``
+    carrying its program fingerprint; the worker replies
+    ``{"op": "hello", "ok": true, "fp": <its own>}`` or rejects with
+    ``ok: false`` and an ``error`` — a mismatched fingerprint means the
+    two sides would execute *different* programs and every cached
+    result would be poisoned, so the handshake is a hard gate.
+
+``run``
+    ``{"op": "run", "shard": i, "max_instr": n|null, "plans": [...]}``
+    with plans in the canonical :func:`~repro.engine.keys.encode_plan`
+    image; the worker answers ``{"op": "result", "shard": i,
+    "values": [...]}`` (manifestation strings, plan order) or
+    ``{"op": "error", "error": ...}``.
+
+``bye``
+    Polite shutdown; either side may also just close the socket
+    between frames.
+
+The same frames travel over a forked worker's socketpair
+(:class:`~repro.engine.backends.aio.AsyncBackend`) and over TCP
+(:class:`~repro.engine.backends.remote.SocketBackend` +
+:class:`~repro.engine.backends.server.ShardServer`).
+"""
+
+from __future__ import annotations
+
+import json
+import socket
+import struct
+from typing import Optional
+
+from repro.engine.keys import KEY_VERSION
+
+_HEADER = struct.Struct(">I")
+
+#: refuse absurd frames instead of allocating gigabytes on a bad peer
+MAX_FRAME = 64 * 1024 * 1024
+
+
+class ProtocolError(RuntimeError):
+    """Malformed or truncated frame, or an in-band error reply."""
+
+
+# ---------------------------------------------------------------- framing
+def send_msg(sock: socket.socket, obj: dict) -> None:
+    """Write one frame (blocking socket)."""
+    body = json.dumps(obj, sort_keys=True,
+                      separators=(",", ":")).encode("utf-8")
+    sock.sendall(_HEADER.pack(len(body)) + body)
+
+
+def _recv_exact(sock: socket.socket, n: int,
+                eof_ok: bool = False) -> Optional[bytes]:
+    chunks = []
+    remaining = n
+    while remaining:
+        chunk = sock.recv(remaining)
+        if not chunk:
+            if eof_ok and remaining == n:
+                return None  # clean EOF at a frame boundary
+            raise ProtocolError(
+                f"connection closed mid-frame ({n - remaining}/{n} bytes)")
+        chunks.append(chunk)
+        remaining -= len(chunk)
+    return b"".join(chunks)
+
+
+def recv_msg(sock: socket.socket) -> Optional[dict]:
+    """Read one frame; ``None`` on clean EOF between frames."""
+    header = _recv_exact(sock, _HEADER.size, eof_ok=True)
+    if header is None:
+        return None
+    (length,) = _HEADER.unpack(header)
+    if length > MAX_FRAME:
+        raise ProtocolError(f"frame of {length} bytes exceeds MAX_FRAME")
+    body = _recv_exact(sock, length)
+    try:
+        return json.loads(body.decode("utf-8"))
+    except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+        raise ProtocolError(f"undecodable frame: {exc}") from exc
+
+
+# ------------------------------------------------------------ asyncio side
+async def async_send(loop, sock: socket.socket, obj: dict) -> None:
+    """Frame write over a non-blocking socket via ``loop.sock_sendall``."""
+    body = json.dumps(obj, sort_keys=True,
+                      separators=(",", ":")).encode("utf-8")
+    await loop.sock_sendall(sock, _HEADER.pack(len(body)) + body)
+
+
+async def _async_recv_exact(loop, sock: socket.socket, n: int) -> bytes:
+    chunks = []
+    remaining = n
+    while remaining:
+        chunk = await loop.sock_recv(sock, remaining)
+        if not chunk:
+            raise ProtocolError(
+                f"connection closed mid-frame ({n - remaining}/{n} bytes)")
+        chunks.append(chunk)
+        remaining -= len(chunk)
+    return b"".join(chunks)
+
+
+async def async_recv(loop, sock: socket.socket) -> dict:
+    header = await _async_recv_exact(loop, sock, _HEADER.size)
+    (length,) = _HEADER.unpack(header)
+    if length > MAX_FRAME:
+        raise ProtocolError(f"frame of {length} bytes exceeds MAX_FRAME")
+    body = await _async_recv_exact(loop, sock, length)
+    return json.loads(body.decode("utf-8"))
+
+
+# ------------------------------------------------------------- handshakes
+def client_hello(sock: socket.socket, fingerprint: str) -> dict:
+    """Run the client side of the handshake; raise on rejection."""
+    send_msg(sock, {"op": "hello", "v": KEY_VERSION, "fp": fingerprint})
+    reply = recv_msg(sock)
+    if reply is None or reply.get("op") != "hello":
+        raise ProtocolError(f"bad handshake reply: {reply!r}")
+    if not reply.get("ok"):
+        raise ProtocolError(reply.get("error", "handshake rejected"))
+    return reply
+
+
+def hello_reply(msg: Optional[dict],
+                fingerprint: str) -> tuple[bool, Optional[dict]]:
+    """Validate a client hello -> ``(accepted, reply_frame)``.
+
+    The caller sends the reply itself (after updating any counters a
+    racing client might observe) and closes the connection when
+    ``accepted`` is ``False``.  A ``None`` reply means the client hung
+    up before saying hello — nothing to send.
+    """
+    if msg is None:
+        return False, None
+    if msg.get("op") != "hello":
+        return False, {"op": "hello", "ok": False,
+                       "error": f"expected hello, got {msg.get('op')!r}"}
+    if msg.get("v") != KEY_VERSION:
+        return False, {"op": "hello", "ok": False,
+                       "error": f"key-version mismatch: client "
+                                f"{msg.get('v')!r} != server {KEY_VERSION}"}
+    if msg.get("fp") != fingerprint:
+        return False, {"op": "hello", "ok": False,
+                       "error": f"program fingerprint mismatch: client "
+                                f"{msg.get('fp')!r} != server "
+                                f"{fingerprint!r}"}
+    return True, {"op": "hello", "ok": True, "fp": fingerprint}
+
+
+def serve_hello(sock: socket.socket, fingerprint: str) -> bool:
+    """Run the worker side of the handshake; ``False`` means rejected
+    (a reply was sent; the caller should close the connection)."""
+    accepted, reply = hello_reply(recv_msg(sock), fingerprint)
+    if reply is not None:
+        send_msg(sock, reply)
+    return accepted
+
+
+def run_request(shard: int, plans, max_instr: Optional[int]) -> dict:
+    from repro.engine.keys import encode_plan
+    return {"op": "run", "shard": shard, "max_instr": max_instr,
+            "plans": [encode_plan(p) for p in plans]}
+
+
+def execute_request(program, msg: dict) -> dict:
+    """Worker-side body of a ``run`` frame -> ``result`` frame."""
+    from repro.engine.keys import decode_plan
+    from repro.faults.campaign import run_plan
+    try:
+        plans = [decode_plan(p) for p in msg["plans"]]
+        values = [run_plan(program, plan, msg.get("max_instr")).value
+                  for plan in plans]
+    except Exception as exc:  # surface worker-side failures in-band
+        return {"op": "error", "shard": msg.get("shard"),
+                "error": f"{type(exc).__name__}: {exc}"}
+    return {"op": "result", "shard": msg["shard"], "values": values}

@@ -1,0 +1,258 @@
+"""Socket backend: execute shards on remote shard servers over TCP.
+
+The client side of the shard protocol (:mod:`.protocol`).  One or more
+:class:`~repro.engine.backends.server.ShardServer` processes (started
+with ``python -m repro serve <app>``, possibly on other hosts) each
+hold their own build of the program; the backend:
+
+* connects to every address and runs the **fingerprint handshake** —
+  a server built from a different program (or params) is rejected
+  with :class:`EngineError`, because its results would poison the
+  content-addressed cache;
+* if *no* server is reachable at all (connection refused), warns and
+  **falls back** to the engine's :class:`LocalPoolBackend`, so a lost
+  cluster degrades to a slower run instead of a dead one;
+* fans shards out across the live connections from a shared work
+  queue (worker failover: a shard stranded by one server is picked up
+  by another);
+* on a mid-shard disconnect, **retries the shard exactly once** —
+  the failed connection attempts a single reconnect, and the shard
+  re-enters the queue for whichever worker grabs it first; a second
+  failure of the same shard is fatal (:class:`EngineError`), never a
+  silent gap.
+
+Completions arrive out of order across connections and are reassembled
+into shard order before the engine sees them, preserving byte-parity
+with ``workers=1``.
+"""
+
+from __future__ import annotations
+
+import queue
+import socket
+import threading
+import warnings
+from typing import Iterator, Optional, Sequence
+
+from repro.engine.backends import protocol
+from repro.engine.backends.base import Backend, reassemble
+from repro.engine.errors import EngineError
+from repro.vm.fault import FaultPlan
+
+#: default shard-server port (CLI ``serve`` / ``--backend-addr``)
+DEFAULT_PORT = 7453
+
+_CONNECT_TIMEOUT_S = 5.0
+_RESULT_POLL_S = 0.2
+
+
+def parse_addresses(spec) -> list[tuple[str, int]]:
+    """``"host:port,host:port"`` (or pre-split pairs) -> address list."""
+    if spec is None:
+        return [("127.0.0.1", DEFAULT_PORT)]
+    if isinstance(spec, str):
+        parts = [p for p in spec.split(",") if p.strip()]
+    else:
+        parts = list(spec)
+    addresses: list[tuple[str, int]] = []
+    for part in parts:
+        if isinstance(part, str):
+            host, _, port = part.strip().rpartition(":")
+            if not host:
+                host, port = part.strip(), str(DEFAULT_PORT)
+            addresses.append((host, int(port)))
+        else:
+            host, port = part
+            addresses.append((str(host), int(port)))
+    if not addresses:
+        raise ValueError(f"no shard-server addresses in {spec!r}")
+    return addresses
+
+
+class _Connection:
+    """One live, handshaken link to a shard server."""
+
+    def __init__(self, address: tuple[str, int], fingerprint: str):
+        self.address = address
+        self.fingerprint = fingerprint
+        self.sock = socket.create_connection(address,
+                                             timeout=_CONNECT_TIMEOUT_S)
+        self.sock.settimeout(None)
+        try:
+            protocol.client_hello(self.sock, fingerprint)
+        except Exception:
+            self.sock.close()
+            raise
+
+    def run_shard(self, index: int, plans: Sequence[FaultPlan],
+                  max_instr: Optional[int]) -> list[str]:
+        protocol.send_msg(self.sock,
+                          protocol.run_request(index, plans, max_instr))
+        reply = protocol.recv_msg(self.sock)
+        if reply is None:
+            raise protocol.ProtocolError("server closed mid-shard")
+        if reply.get("op") != "result":
+            raise EngineError(f"shard {index}: server replied "
+                              f"{reply.get('error', reply)!r}")
+        values = reply["values"]
+        if len(values) != len(plans):
+            raise EngineError(f"shard {index}: server returned "
+                              f"{len(values)} values for {len(plans)} plans")
+        return values
+
+    def close(self) -> None:
+        try:
+            protocol.send_msg(self.sock, {"op": "bye"})
+        except OSError:
+            pass
+        self.sock.close()
+
+
+class SocketBackend(Backend):
+    """TCP shard client with handshake, retry, failover and fallback."""
+
+    name = "socket"
+
+    def __init__(self, addresses=None, *, fallback: bool = True):
+        super().__init__()
+        self.addresses = parse_addresses(addresses)
+        self.fallback = fallback
+        self._connections: list[_Connection] = []
+        self._fallback_backend: Optional[Backend] = None
+        self._started = False
+
+    # ------------------------------------------------------------ lifecycle
+    def _ensure_started(self) -> None:
+        """Connect + handshake once; decide fallback; lazy on first use."""
+        if self._started:
+            return
+        self._started = True
+        refused: list[str] = []
+        for address in self.addresses:
+            try:
+                self._connections.append(
+                    _Connection(address, self.engine.program_fp))
+            except protocol.ProtocolError as exc:
+                # the server answered and said no (fingerprint/version
+                # mismatch): running locally would mask a real bug
+                self._close_connections()
+                raise EngineError(
+                    f"shard server {address[0]}:{address[1]} rejected "
+                    f"handshake: {exc}") from exc
+            except OSError as exc:
+                refused.append(f"{address[0]}:{address[1]} ({exc})")
+        if not self._connections:
+            if not self.fallback:
+                raise EngineError("no shard server reachable: "
+                                  + "; ".join(refused))
+            warnings.warn(
+                "no shard server reachable ("
+                + "; ".join(refused)
+                + "); falling back to LocalPoolBackend",
+                RuntimeWarning, stacklevel=4)
+            self._fallback_backend = self.engine.local_backend
+
+    def close(self) -> None:
+        self._close_connections()
+        # a pre-built instance may be handed to a fresh engine later:
+        # reconnect (and re-decide fallback) on next use
+        self._started = False
+        self._fallback_backend = None
+
+    def _close_connections(self) -> None:
+        for conn in self._connections:
+            conn.close()
+        self._connections.clear()
+
+    # ------------------------------------------------------------ shards
+    def run_shards(self, shards: Sequence[Sequence[FaultPlan]],
+                   max_instr: Optional[int]
+                   ) -> Iterator[tuple[int, list[str]]]:
+        if not shards:
+            return
+        self._ensure_started()
+        if self._fallback_backend is not None:
+            yield from self._fallback_backend.run_shards(shards, max_instr)
+            return
+        pending: queue.Queue = queue.Queue()
+        for index, plans in enumerate(shards):
+            pending.put((index, plans, 0))
+        results: queue.Queue = queue.Queue()
+        stop = threading.Event()
+        threads = [threading.Thread(
+            target=self._serve_connection,
+            args=(conn, pending, results, stop, max_instr), daemon=True)
+            for conn in list(self._connections)]
+        for thread in threads:
+            thread.start()
+        try:
+            yield from reassemble(
+                self._collect(results, threads, len(shards)), len(shards))
+        finally:
+            stop.set()
+            for thread in threads:
+                thread.join()
+
+    def _collect(self, results: queue.Queue, threads, n_shards: int):
+        done = 0
+        while done < n_shards:
+            try:
+                item = results.get(timeout=_RESULT_POLL_S)
+            except queue.Empty:
+                if not any(t.is_alive() for t in threads):
+                    raise EngineError(
+                        f"all shard servers lost with "
+                        f"{n_shards - done} shard(s) unfinished")
+                continue
+            if isinstance(item, BaseException):
+                raise item
+            yield item
+            done += 1
+
+    def _serve_connection(self, conn: _Connection, pending: queue.Queue,
+                          results: queue.Queue, stop: threading.Event,
+                          max_instr: Optional[int]) -> None:
+        """Connection-thread body: pull shards until done or dead."""
+        while not stop.is_set():
+            try:
+                index, plans, attempt = pending.get(timeout=_RESULT_POLL_S)
+            except queue.Empty:
+                continue
+            try:
+                results.put((index, conn.run_shard(index, plans,
+                                                   max_instr)))
+            except (OSError, protocol.ProtocolError) as exc:
+                if attempt == 0:
+                    # exactly-once retry: hand the shard back for any
+                    # live connection (failover) — including this one,
+                    # if its single reconnect attempt succeeds
+                    pending.put((index, plans, 1))
+                else:
+                    self.failed_shard = index
+                    results.put(EngineError(
+                        f"shard {index} failed twice on shard servers "
+                        f"(last: {conn.address[0]}:{conn.address[1]}: "
+                        f"{exc})"))
+                    return
+                conn = self._reconnect(conn)
+                if conn is None:
+                    return  # this worker is gone; others may survive
+            except EngineError as exc:
+                self.failed_shard = index
+                results.put(exc)
+                return
+
+    def _reconnect(self, dead: _Connection) -> Optional[_Connection]:
+        """One reconnect attempt for a failed connection."""
+        try:
+            dead.sock.close()
+        except OSError:
+            pass
+        if dead in self._connections:
+            self._connections.remove(dead)
+        try:
+            conn = _Connection(dead.address, dead.fingerprint)
+        except (OSError, protocol.ProtocolError):
+            return None
+        self._connections.append(conn)
+        return conn

@@ -1,0 +1,118 @@
+"""TCP shard server: the remote end of the socket backend.
+
+One server holds one built program and executes shard requests for any
+number of clients.  Start it from the CLI —
+
+.. code-block:: bash
+
+    python -m repro serve kmeans --host 0.0.0.0 --port 7453
+
+— it prints ``serving <app> fp=<fingerprint> on <host>:<port>`` once
+the socket is listening (scripts can wait for that line), then accepts
+connections until interrupted.  Each connection is handled on its own
+thread: fingerprint handshake first (mismatches are rejected before
+any shard runs), then a loop of ``run`` -> ``result`` frames.
+
+Tests (and embedders) use :meth:`ShardServer.start` /
+:meth:`ShardServer.stop` to run the accept loop on a background
+thread; ``port=0`` binds an ephemeral port exposed as ``.port``.
+"""
+
+from __future__ import annotations
+
+import socket
+import threading
+
+from repro.engine.backends import protocol
+from repro.engine.backends.remote import DEFAULT_PORT
+from repro.engine.keys import program_fingerprint
+
+
+class ShardServer:
+    """Threaded shard-protocol server for one built program."""
+
+    def __init__(self, program, host: str = "127.0.0.1",
+                 port: int = DEFAULT_PORT):
+        self.program = program
+        self.fingerprint = program_fingerprint(program)
+        self._listener = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
+        self._listener.setsockopt(socket.SOL_SOCKET, socket.SO_REUSEADDR, 1)
+        self._listener.bind((host, port))
+        self._listener.listen()
+        self.host, self.port = self._listener.getsockname()[:2]
+        self._stopping = threading.Event()
+        self._accept_thread: threading.Thread | None = None
+        self._conn_threads: list[threading.Thread] = []
+        # observability for tests and ops logs
+        self.connections = 0
+        self.rejected = 0
+        self.shards_served = 0
+
+    # ------------------------------------------------------------ serving
+    def serve_forever(self) -> None:
+        """Blocking accept loop (the CLI entry point)."""
+        while not self._stopping.is_set():
+            try:
+                conn, _addr = self._listener.accept()
+            except OSError:  # listener closed by stop()
+                return
+            thread = threading.Thread(target=self._serve_client,
+                                      args=(conn,), daemon=True)
+            thread.start()
+            # prune finished handlers so a long-lived server does not
+            # accumulate one dead Thread per connection ever served
+            self._conn_threads = [t for t in self._conn_threads
+                                  if t.is_alive()]
+            self._conn_threads.append(thread)
+
+    def start(self) -> "ShardServer":
+        """Run :meth:`serve_forever` on a daemon thread (for tests)."""
+        self._accept_thread = threading.Thread(target=self.serve_forever,
+                                               daemon=True)
+        self._accept_thread.start()
+        return self
+
+    def stop(self) -> None:
+        self._stopping.set()
+        self._listener.close()
+        if self._accept_thread is not None:
+            self._accept_thread.join(timeout=2.0)
+        for thread in self._conn_threads:
+            thread.join(timeout=0.5)
+
+    def __enter__(self) -> "ShardServer":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.stop()
+
+    # ------------------------------------------------------------ clients
+    def _serve_client(self, conn: socket.socket) -> None:
+        # counters are bumped *before* the reply frame goes out, so a
+        # client that just received a reply observes consistent counts
+        self.connections += 1
+        try:
+            accepted, reply = protocol.hello_reply(
+                protocol.recv_msg(conn), self.fingerprint)
+            if not accepted:
+                self.rejected += 1
+                if reply is not None:
+                    protocol.send_msg(conn, reply)
+                return
+            protocol.send_msg(conn, reply)
+            while True:
+                msg = protocol.recv_msg(conn)
+                if msg is None or msg.get("op") == "bye":
+                    return
+                if msg.get("op") != "run":
+                    protocol.send_msg(conn, {
+                        "op": "error",
+                        "error": f"unexpected op {msg.get('op')!r}"})
+                    continue
+                result = protocol.execute_request(self.program, msg)
+                self.shards_served += 1
+                protocol.send_msg(conn, result)
+        except (OSError, protocol.ProtocolError):
+            pass  # client vanished; its backend handles the retry
+        finally:
+            conn.close()

@@ -1,33 +1,37 @@
-"""The :class:`ExecutionEngine`: persistent pool + cache + shards.
+"""The :class:`ExecutionEngine`: cache + shards + pluggable backends.
 
 See the package docstring for the architecture.  The engine is the one
 place faulty runs happen; :func:`repro.faults.campaign.run_campaign`
 and every :class:`~repro.core.FlipTracker` campaign/analysis method
 delegate here.
 
+Where a shard *executes* is a :class:`~repro.engine.backends.Backend`
+(``local`` process pool, ``async`` event-loop fan-out, ``socket``
+remote shard servers — see :mod:`repro.engine.backends`); the engine
+keeps sole ownership of the :class:`PlanCache`, shard boundaries and
+plan-order assembly, so every backend inherits the determinism
+contract for free.
+
 Determinism: plan order — never worker arrival order — decides how
 results are assembled, shard boundaries depend only on the pending
 count and ``shard_size``, and cache keys are content-addressed
 (:mod:`repro.engine.keys`), so a campaign's result is a pure function
-of (program, plans, budget) regardless of ``workers``.
+of (program, plans, budget) regardless of ``workers`` *or* backend.
 """
 
 from __future__ import annotations
 
-import multiprocessing as mp
 import os
-import warnings
 from typing import Iterable, Optional, Sequence
 
 from repro.engine import worker as worker_mod
 from repro.engine.cache import PlanCache
+from repro.engine.errors import EngineError
 from repro.engine.keys import encode_plan, plan_key, program_fingerprint
 from repro.engine.progress import ProgressCallback, ProgressEvent
 from repro.vm.fault import FaultPlan
 
-
-class EngineError(RuntimeError):
-    """Engine misuse (closed engine, unbound analysis, ...)."""
+__all__ = ["ExecutionEngine", "EngineError"]
 
 
 class ExecutionEngine:
@@ -39,7 +43,7 @@ class ExecutionEngine:
         The built program every plan executes against.
     workers:
         Process count; ``None`` auto-selects ``min(4, cores)``; ``<=1``
-        runs sequentially in-process.
+        runs sequentially in-process (local backend).
     cache / cache_dir / resume:
         Either pass a shared :class:`PlanCache` or let the engine own
         one (optionally disk-backed at ``cache_dir``; ``resume=False``
@@ -49,13 +53,25 @@ class ExecutionEngine:
         finished shard is durable in the cache (checkpoint granularity)
         and emits one :class:`ProgressEvent`.
     min_parallel:
-        Smallest pending batch worth fanning out to the pool.
+        Smallest pending batch worth fanning out to the pool
+        (local backend only).
+    backend:
+        Shard-execution substrate: a name (``"local"``, ``"async"``,
+        ``"socket"``), a pre-built
+        :class:`~repro.engine.backends.Backend` instance, or ``None``
+        for local.  See :mod:`repro.engine.backends`.
+    backend_addr:
+        Shard-server address(es) for ``backend="socket"``
+        (``"host:port"`` or ``"h1:p1,h2:p2"``; ignored otherwise).
     """
 
     def __init__(self, program, *, workers: Optional[int] = 1,
                  cache: Optional[PlanCache] = None,
                  cache_dir: Optional[str] = None, resume: bool = True,
-                 shard_size: int = 64, min_parallel: int = 4):
+                 shard_size: int = 64, min_parallel: int = 4,
+                 backend=None, backend_addr=None):
+        from repro.engine.backends import (LocalPoolBackend,
+                                           resolve_backend)
         if workers is None:
             workers = min(4, os.cpu_count() or 1)
         if shard_size < 1:
@@ -69,65 +85,73 @@ class ExecutionEngine:
             PlanCache(cache_dir, resume=resume)
         self.program_fp = program_fingerprint(program)
         self._tracker = None
-        self._pool = None
         self._closed = False
         self.executed = 0      # faulty runs actually performed (parent view)
-        self.pool_starts = 0   # pools created over the engine's lifetime
+        self.pool_starts = 0   # pools/worker fleets created over the lifetime
+        self.backend = resolve_backend(backend, addresses=backend_addr)
+        self.backend.bind(self)
+        # the local pool doubles as the traced-analysis executor and as
+        # the socket backend's no-server fallback, shared so its pool
+        # starts at most once per engine
+        if isinstance(self.backend, LocalPoolBackend):
+            self._local = self.backend
+        else:
+            self._local = LocalPoolBackend()
+            self._local.bind(self)
 
     # ------------------------------------------------------------ lifecycle
+    @property
+    def local_backend(self):
+        """The engine's :class:`LocalPoolBackend` (analysis + fallback)."""
+        return self._local
+
     def bind_tracker(self, tracker) -> None:
         """Attach the owning FlipTracker (enables traced analyses and
         lets fork children inherit its warmed golden trace)."""
         self._tracker = tracker
 
     def close(self) -> None:
-        """Terminate the pool and flush/close an owned cache."""
-        if self._pool is not None:
-            self._pool.terminate()
-            self._pool.join()
-            self._pool = None
-            worker_mod.clear_parent_state()
+        """Shut down the backend(s) and flush/close an owned cache.
+
+        If a shard died mid-flight (worker ``os._exit``, lost shard
+        server) this raises :class:`EngineError` naming the failed
+        shard *after* tearing everything down — it never hangs on a
+        broken pool join, and the cache still holds every shard that
+        completed before the failure.
+        """
+        failed = self.backend.failed_shard
+        if failed is None and self._local is not self.backend:
+            failed = self._local.failed_shard
+        self.backend.close()
+        if self._local is not self.backend:
+            self._local.close()
         if self._owns_cache:
             self.cache.close()
         else:
             self.cache.flush()
         self._closed = True
+        if failed is not None:
+            raise EngineError(
+                f"engine closed after shard {failed} failed "
+                f"(backend {self.backend.name!r}); completed shards "
+                f"are preserved in the cache")
 
     def __enter__(self) -> "ExecutionEngine":
         return self
 
-    def __exit__(self, *exc) -> None:
-        self.close()
+    def __exit__(self, exc_type, exc, tb) -> None:
+        try:
+            self.close()
+        except EngineError:
+            # the failed-shard re-raise must not mask an exception that
+            # is already propagating out of the with-body (the original
+            # error names the root cause; this one only the shard)
+            if exc_type is None:
+                raise
 
     def _check_open(self) -> None:
         if self._closed:
             raise EngineError("engine is closed")
-
-    # ------------------------------------------------------------ pool
-    def _ensure_pool(self):
-        """Create the persistent pool once; reused by every later call."""
-        if self._pool is not None:
-            return self._pool
-        if hasattr(os, "fork"):
-            if self._tracker is not None:
-                self._warm_tracker()
-            worker_mod.configure_parent_state(self.program, self._tracker)
-            ctx = mp.get_context("fork")
-            self._pool = ctx.Pool(self.workers)
-        else:  # pragma: no cover - no fork on this platform
-            from repro.apps.base import REGISTRY
-            if self.program.name not in REGISTRY.names():
-                warnings.warn(
-                    f"program {self.program.name!r} is not registered; "
-                    "spawn workers cannot rebuild it — running "
-                    "sequentially", RuntimeWarning, stacklevel=3)
-                return None
-            ctx = mp.get_context("spawn")
-            self._pool = ctx.Pool(
-                self.workers, initializer=worker_mod.init_spawn_worker,
-                initargs=(self.program.name, self.program.params))
-        self.pool_starts += 1
-        return self._pool
 
     def _warm_tracker(self) -> None:
         """Materialize everything fork children should COW-share."""
@@ -146,8 +170,8 @@ class ExecutionEngine:
 
         ``result.details`` records ``executed`` (new faulty runs this
         call), ``cached`` (plans served without execution: cache hits
-        plus within-call duplicates of an executed plan) and
-        ``shards``; ``executed + cached == total`` always.
+        plus within-call duplicates of an executed plan), ``shards``
+        and ``backend``; ``executed + cached == total`` always.
         """
         from repro.faults.campaign import CampaignResult, Manifestation
         self._check_open()
@@ -171,8 +195,9 @@ class ExecutionEngine:
         shards = [unique[s:s + self.shard_size]
                   for s in range(0, len(unique), self.shard_size)]
         done = cache_hits
-        for s_i, shard in enumerate(shards):
-            values = self._execute([plans[i] for i in shard], max_instr)
+        shard_plans = [[plans[i] for i in shard] for shard in shards]
+        for s_i, values in self.backend.run_shards(shard_plans, max_instr):
+            shard = shards[s_i]
             for i, value in zip(shard, values):
                 for alias in pending[keys[i]]:
                     outcomes[alias] = value
@@ -196,30 +221,9 @@ class ExecutionEngine:
         for value in outcomes:
             result.add(Manifestation(value))
         result.details.update(executed=len(unique), cached=cached,
-                              shards=len(shards), total=total)
+                              shards=len(shards), total=total,
+                              backend=self.backend.name)
         return result
-
-    def _execute(self, plans: Sequence[FaultPlan],
-                 max_instr: Optional[int]) -> list[str]:
-        """Run a shard, pool-parallel when worthwhile, in plan order."""
-        from repro.faults.campaign import run_plan
-        pool = (self._ensure_pool()
-                if self.workers > 1 and len(plans) >= self.min_parallel
-                else None)
-        if pool is None:
-            return [run_plan(self.program, plan, max_instr).value
-                    for plan in plans]
-        chunk = max(1, -(-len(plans) // (self.workers * 4)))
-        tasks = [(j, max_instr, plans[j:j + chunk])
-                 for j in range(0, len(plans), chunk)]
-        parts: dict[int, list[str]] = {}
-        for j, values in pool.imap_unordered(worker_mod.run_plans_task,
-                                             tasks):
-            parts[j] = values
-        out: list[str] = []
-        for j, _mi, _chunk in tasks:
-            out.extend(parts[j])
-        return out
 
     # ------------------------------------------------------------ analyses
     def analyze_plans(self, plans: Sequence[FaultPlan], *,
@@ -228,19 +232,19 @@ class ExecutionEngine:
                       ) -> list[dict[str, set[str]]]:
         """Patterns-by-region for many traced injections, in plan order.
 
-        Fans out across the persistent pool when possible (fork
-        children share the tracker's golden trace copy-on-write); the
-        manifestation of each traced run is cached as a by-product
-        when ``max_instr`` is provided, so a later untraced campaign
-        over the same plans is free.
+        Always runs on the local pool backend (traced analyses move
+        whole pattern tables, not three-word manifestations — remote
+        shipping is a future backend extension): fork children share
+        the tracker's golden trace copy-on-write; the manifestation of
+        each traced run is cached as a by-product when ``max_instr``
+        is provided, so a later untraced campaign over the same plans
+        is free.
         """
         self._check_open()
         plans = list(plans)
         tracker = self._tracker_for_analysis()
         results: list[Optional[dict[str, set[str]]]] = [None] * len(plans)
-        pool = (self._ensure_pool()
-                if self.workers > 1 and len(plans) >= self.min_parallel
-                else None)
+        pool = self._local.pool_for(len(plans))
         if pool is None:
             for i, plan in enumerate(plans):
                 analysis = tracker.analyze_injection(plan)
@@ -284,7 +288,8 @@ class ExecutionEngine:
     # ------------------------------------------------------------ stats
     def stats(self) -> dict:
         return {"workers": self.workers, "executed": self.executed,
+                "backend": self.backend.name,
                 "pool_starts": self.pool_starts,
-                "pool_alive": self._pool is not None,
+                "pool_alive": self._local.pool_alive,
                 "shard_size": self.shard_size,
                 "cache": self.cache.stats()}

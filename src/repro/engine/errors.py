@@ -1,0 +1,13 @@
+"""Engine-level error types.
+
+Kept in a leaf module so both :mod:`repro.engine.core` and the backend
+implementations (:mod:`repro.engine.backends`) can raise the same
+exception without importing each other.
+"""
+
+from __future__ import annotations
+
+
+class EngineError(RuntimeError):
+    """Engine misuse or execution failure (closed engine, dead worker
+    pool, unreachable shard server, protocol violation, ...)."""

@@ -157,6 +157,7 @@ def run_campaign(program: Program, plans: Iterable[FaultPlan], *,
                  label: str = "",
                  cache=None, cache_dir: Optional[str] = None,
                  resume: bool = True,
+                 backend=None, backend_addr=None,
                  on_progress=None) -> CampaignResult:
     """Run all ``plans`` against ``program`` and aggregate outcomes.
 
@@ -164,10 +165,14 @@ def run_campaign(program: Program, plans: Iterable[FaultPlan], *,
     runs sequentially in-process, which is what the unit tests and the
     pytest benchmarks use for determinism of timing.  ``cache`` /
     ``cache_dir`` feed the engine's plan-result cache (see
-    :mod:`repro.engine`); results are identical for any worker count.
+    :mod:`repro.engine`); ``backend``/``backend_addr`` pick the shard
+    substrate (:mod:`repro.engine.backends`); results are identical
+    for any worker count and any backend.
     """
     from repro.engine import ExecutionEngine
     with ExecutionEngine(program, workers=workers, cache=cache,
-                         cache_dir=cache_dir, resume=resume) as engine:
+                         cache_dir=cache_dir, resume=resume,
+                         backend=backend,
+                         backend_addr=backend_addr) as engine:
         return engine.run_plans(plans, max_instr=max_instr, label=label,
                                 on_progress=on_progress)

@@ -1,0 +1,353 @@
+"""Backend seam: protocol framing, failure paths, pool-death close().
+
+The byte-parity of all backends against the sequential engine lives in
+``tests/test_determinism.py``; this file covers everything that can go
+*wrong* at the seam:
+
+* shard-protocol framing (roundtrip, torn frames, oversized frames);
+* ``SocketBackend`` failure paths — connection refused falls back to
+  the local pool with a warning, a mid-shard disconnect retries the
+  shard exactly once, a second failure is fatal, and a
+  fingerprint-mismatch handshake is rejected outright;
+* the ``close()`` fix — a pool worker that calls ``os._exit`` mid-shard
+  fails the campaign with the shard index and lets ``close()`` raise
+  promptly instead of hanging on the pool join.
+"""
+
+import os
+import socket
+import threading
+
+import pytest
+
+from test_engine import loop_instance, tiny_program
+
+from repro.apps import REGISTRY
+from repro.core import FlipTracker
+from repro.engine import EngineError, ExecutionEngine
+from repro.engine.backends import (AsyncBackend, ShardServer,
+                                   SocketBackend, parse_addresses,
+                                   resolve_backend)
+from repro.engine.backends import protocol
+
+needs_fork = pytest.mark.skipif(not hasattr(os, "fork"),
+                                reason="worker processes need fork here")
+
+
+def sequential_outcome(prog, plans, max_instr):
+    with ExecutionEngine(prog) as eng:
+        r = eng.run_plans(plans, max_instr=max_instr)
+    return (r.success, r.failed, r.crashed)
+
+
+def free_port() -> int:
+    """A port that was just free (nothing listens there afterwards)."""
+    probe = socket.socket()
+    probe.bind(("127.0.0.1", 0))
+    port = probe.getsockname()[1]
+    probe.close()
+    return port
+
+
+# ---------------------------------------------------------------- protocol
+class TestProtocol:
+    def test_frame_roundtrip(self):
+        a, b = socket.socketpair()
+        protocol.send_msg(a, {"op": "run", "plans": [1, 2], "x": None})
+        assert protocol.recv_msg(b) == {"op": "run", "plans": [1, 2],
+                                        "x": None}
+        a.close()
+        assert protocol.recv_msg(b) is None  # clean EOF
+        b.close()
+
+    def test_torn_frame_raises(self):
+        a, b = socket.socketpair()
+        a.sendall(b"\x00\x00\x00\x10{\"tor")  # promises 16 bytes, sends 6
+        a.close()
+        with pytest.raises(protocol.ProtocolError, match="mid-frame"):
+            protocol.recv_msg(b)
+        b.close()
+
+    def test_oversized_frame_rejected(self):
+        a, b = socket.socketpair()
+        a.sendall(b"\xff\xff\xff\xff")
+        with pytest.raises(protocol.ProtocolError, match="MAX_FRAME"):
+            protocol.recv_msg(b)
+        a.close()
+        b.close()
+
+    def test_execute_request_reports_errors_in_band(self):
+        reply = protocol.execute_request(tiny_program(),
+                                         {"op": "run", "shard": 7,
+                                          "plans": [{"bogus": 1}]})
+        assert reply["op"] == "error" and reply["shard"] == 7
+        assert "KeyError" in reply["error"] or "bogus" in reply["error"]
+
+    def test_parse_addresses(self):
+        assert parse_addresses("h1:70,h2:71") == [("h1", 70), ("h2", 71)]
+        assert parse_addresses(None) == [("127.0.0.1", 7453)]
+        assert parse_addresses([("h", 9)]) == [("h", 9)]
+        with pytest.raises(ValueError):
+            parse_addresses("")
+
+    def test_resolve_backend_rejects_unknown(self):
+        with pytest.raises(ValueError, match="unknown backend"):
+            resolve_backend("carrier-pigeon")
+
+
+# ----------------------------------------------------------- socket happy
+class TestSocketBackend:
+    def test_end_to_end_matches_sequential(self):
+        prog = tiny_program()
+        ft = FlipTracker(prog, seed=9)
+        plans = ft.make_plans(loop_instance(ft), "internal", 8)
+        baseline = sequential_outcome(prog, plans, ft.faulty_budget)
+        with ShardServer(tiny_program(), port=0).start() as server:
+            backend = SocketBackend([("127.0.0.1", server.port)],
+                                    fallback=False)
+            with ExecutionEngine(tiny_program(), shard_size=3,
+                                 backend=backend) as eng:
+                r = eng.run_plans(plans, max_instr=ft.faulty_budget)
+            assert server.shards_served == r.details["shards"] > 1
+        assert (r.success, r.failed, r.crashed) == baseline
+        assert r.details["backend"] == "socket"
+
+    def test_connection_refused_falls_back_to_local(self):
+        prog = tiny_program()
+        ft = FlipTracker(prog, seed=9)
+        plans = ft.make_plans(loop_instance(ft), "internal", 6)
+        baseline = sequential_outcome(prog, plans, ft.faulty_budget)
+        backend = SocketBackend([("127.0.0.1", free_port())])
+        with ExecutionEngine(tiny_program(), backend=backend) as eng:
+            with pytest.warns(RuntimeWarning, match="falling back to "
+                                                    "LocalPoolBackend"):
+                r = eng.run_plans(plans, max_instr=ft.faulty_budget)
+        assert (r.success, r.failed, r.crashed) == baseline
+
+    def test_no_fallback_raises(self):
+        backend = SocketBackend([("127.0.0.1", free_port())],
+                                fallback=False)
+        prog = tiny_program()
+        ft = FlipTracker(prog, seed=9)
+        plans = ft.make_plans(loop_instance(ft), "internal", 2)
+        with pytest.raises(EngineError, match="no shard server reachable"):
+            with ExecutionEngine(tiny_program(), backend=backend) as eng:
+                eng.run_plans(plans, max_instr=ft.faulty_budget)
+
+    def test_backend_instance_reusable_across_engines(self):
+        """close() resets the connection latch: a pre-built backend
+        handed to a second engine reconnects instead of running with
+        zero workers."""
+        prog = tiny_program()
+        ft = FlipTracker(prog, seed=9)
+        plans = ft.make_plans(loop_instance(ft), "internal", 4)
+        with ShardServer(tiny_program(), port=0).start() as srv:
+            backend = SocketBackend([("127.0.0.1", srv.port)],
+                                    fallback=False)
+            with ExecutionEngine(tiny_program(), backend=backend) as e1:
+                r1 = e1.run_plans(plans, max_instr=ft.faulty_budget)
+            with ExecutionEngine(tiny_program(), backend=backend) as e2:
+                r2 = e2.run_plans(plans, max_instr=ft.faulty_budget)
+            assert srv.connections >= 2
+        assert (r1.success, r1.failed, r1.crashed) == \
+            (r2.success, r2.failed, r2.crashed)
+
+    def test_fingerprint_mismatch_rejected(self):
+        prog = tiny_program()
+        ft = FlipTracker(prog, seed=9)
+        plans = ft.make_plans(loop_instance(ft), "internal", 2)
+        with ShardServer(tiny_program("imposter"), port=0).start() as srv:
+            backend = SocketBackend([("127.0.0.1", srv.port)])
+            with pytest.raises(EngineError,
+                               match="fingerprint mismatch"):
+                with ExecutionEngine(tiny_program(),
+                                     backend=backend) as eng:
+                    eng.run_plans(plans, max_instr=ft.faulty_budget)
+            assert srv.rejected == 1
+
+
+# --------------------------------------------------------- socket failure
+class DroppingServer(ShardServer):
+    """Shard server that abruptly drops the first ``drop_first`` run
+    requests mid-shard (accepts reconnects afterwards)."""
+
+    def __init__(self, program, drop_first: int):
+        super().__init__(program, port=0)
+        self._drop_remaining = drop_first
+        self._drop_lock = threading.Lock()
+        self.run_requests = 0
+
+    def _serve_client(self, conn):
+        self.connections += 1
+        try:
+            if not protocol.serve_hello(conn, self.fingerprint):
+                self.rejected += 1
+                return
+            while True:
+                msg = protocol.recv_msg(conn)
+                if msg is None or msg.get("op") == "bye":
+                    return
+                with self._drop_lock:
+                    self.run_requests += 1
+                    drop = self._drop_remaining > 0
+                    if drop:
+                        self._drop_remaining -= 1
+                if drop:
+                    return  # vanish mid-shard, no reply
+                result = protocol.execute_request(self.program, msg)
+                self.shards_served += 1  # before the reply, like the base
+                protocol.send_msg(conn, result)
+        except (OSError, protocol.ProtocolError):
+            pass
+        finally:
+            conn.close()
+
+
+class TestSocketRetry:
+    def test_mid_shard_disconnect_retries_exactly_once(self):
+        prog = tiny_program()
+        ft = FlipTracker(prog, seed=9)
+        plans = ft.make_plans(loop_instance(ft), "internal", 8)
+        baseline = sequential_outcome(prog, plans, ft.faulty_budget)
+        with DroppingServer(tiny_program(), drop_first=1).start() as srv:
+            backend = SocketBackend([("127.0.0.1", srv.port)],
+                                    fallback=False)
+            with ExecutionEngine(tiny_program(), shard_size=3,
+                                 backend=backend) as eng:
+                r = eng.run_plans(plans, max_instr=ft.faulty_budget)
+            # the dropped shard was re-sent once; every shard answered
+            assert srv.run_requests == r.details["shards"] + 1
+            assert srv.shards_served == r.details["shards"]
+        assert (r.success, r.failed, r.crashed) == baseline
+
+    def test_second_failure_of_same_shard_is_fatal(self):
+        prog = tiny_program()
+        ft = FlipTracker(prog, seed=9)
+        plans = ft.make_plans(loop_instance(ft), "internal", 4)
+        with DroppingServer(tiny_program(), drop_first=99).start() as srv:
+            backend = SocketBackend([("127.0.0.1", srv.port)],
+                                    fallback=False)
+            eng = ExecutionEngine(tiny_program(), backend=backend)
+            with pytest.raises(EngineError, match="failed twice"):
+                eng.run_plans(plans, max_instr=ft.faulty_budget)
+            assert srv.run_requests == 2  # original + exactly one retry
+            # close() reports the lost shard instead of pretending success
+            with pytest.raises(EngineError, match="shard 0 failed"):
+                eng.close()
+
+
+# ------------------------------------------------------------------ async
+@needs_fork
+class TestAsyncBackend:
+    def test_matches_sequential_with_more_shards_than_workers(self):
+        prog = tiny_program()
+        ft = FlipTracker(prog, seed=9)
+        plans = ft.make_plans(loop_instance(ft), "internal", 12)
+        baseline = sequential_outcome(prog, plans, ft.faulty_budget)
+        with ExecutionEngine(tiny_program(), workers=2, shard_size=2,
+                             backend=AsyncBackend()) as eng:
+            r = eng.run_plans(plans, max_instr=ft.faulty_budget)
+            stats = eng.stats()
+        assert (r.success, r.failed, r.crashed) == baseline
+        assert r.details["backend"] == "async"
+        assert stats["backend"] == "async"
+        assert r.details["shards"] > 2  # out-of-order reassembly exercised
+
+    def test_workers_persist_across_campaigns(self):
+        prog = tiny_program()
+        ft = FlipTracker(prog, seed=9)
+        inst = loop_instance(ft)
+        with ExecutionEngine(tiny_program(), workers=2, shard_size=2,
+                             backend=AsyncBackend()) as eng:
+            eng.run_plans(ft.make_plans(inst, "internal", 6),
+                          max_instr=ft.faulty_budget)
+            r2 = eng.run_plans(ft.make_plans(inst, "input", 6),
+                               max_instr=ft.faulty_budget)
+            assert eng.pool_starts == 1  # one worker fleet, reused
+        assert r2.total == 6
+
+    def test_fully_cached_run_never_touches_workers(self):
+        prog = tiny_program()
+        ft = FlipTracker(prog, seed=9)
+        plans = ft.make_plans(loop_instance(ft), "internal", 5)
+        with ExecutionEngine(tiny_program(),
+                             backend=AsyncBackend()) as eng:
+            eng.run_plans(plans, max_instr=ft.faulty_budget)
+            starts = eng.pool_starts
+            r = eng.run_plans(plans, max_instr=ft.faulty_budget)
+            assert eng.pool_starts == starts  # no new fleet for a no-op
+        assert r.details["executed"] == 0
+
+
+# -------------------------------------------------- pool-death regression
+def _exit_worker(task):  # must be module-level: pickled by reference
+    os._exit(13)
+
+
+@needs_fork
+class TestPoolDeath:
+    def test_dead_worker_fails_shard_and_close_raises(self, monkeypatch):
+        """A worker that calls ``os._exit`` mid-shard must fail the
+        campaign with the shard index — and ``close()`` must raise, not
+        hang on the broken pool's join."""
+        import repro.engine.worker as worker_mod
+        prog = tiny_program()
+        ft = FlipTracker(prog, seed=9)
+        plans = ft.make_plans(loop_instance(ft), "internal", 8)
+        eng = ExecutionEngine(tiny_program(), workers=2, min_parallel=1)
+        monkeypatch.setattr(worker_mod, "run_plans_task", _exit_worker)
+        with pytest.raises(EngineError, match="shard 0"):
+            eng.run_plans(plans, max_instr=ft.faulty_budget)
+        assert eng.backend.failed_shard == 0
+        with pytest.raises(EngineError, match="shard 0 failed"):
+            eng.close()
+
+    def test_with_block_does_not_mask_root_cause(self, monkeypatch):
+        """__exit__'s close() must not replace the in-flight error: the
+        caller should see the worker-death message, not the generic
+        'engine closed after shard N failed' one."""
+        import repro.engine.worker as worker_mod
+        prog = tiny_program()
+        ft = FlipTracker(prog, seed=9)
+        plans = ft.make_plans(loop_instance(ft), "internal", 8)
+        with pytest.raises(EngineError, match="worker") as excinfo:
+            with ExecutionEngine(tiny_program(), workers=2,
+                                 min_parallel=1) as eng:
+                monkeypatch.setattr(worker_mod, "run_plans_task",
+                                    _exit_worker)
+                eng.run_plans(plans, max_instr=ft.faulty_budget)
+        assert "engine closed after" not in str(excinfo.value)
+
+    def test_healthy_close_still_silent(self):
+        prog = tiny_program()
+        ft = FlipTracker(prog, seed=9)
+        plans = ft.make_plans(loop_instance(ft), "internal", 6)
+        eng = ExecutionEngine(tiny_program(), workers=2, min_parallel=1)
+        eng.run_plans(plans, max_instr=ft.faulty_budget)
+        eng.close()  # no exception: nothing failed
+
+
+# -------------------------------------------------------------- CLI wiring
+class TestCliBackendFlag:
+    def test_campaign_over_socket_backend(self, capsys):
+        from repro.cli import main
+        with ShardServer(REGISTRY.build("kmeans"), port=0).start() as srv:
+            code = main(["--seed", "3", "--backend", "socket",
+                         "--backend-addr", f"127.0.0.1:{srv.port}",
+                         "campaign", "kmeans", "k_d", "-n", "4"])
+            out = capsys.readouterr().out
+            assert code == 0 and "success_rate" in out
+            assert srv.shards_served >= 1
+
+    def test_serve_parser_accepts_host_port(self):
+        from repro.cli import build_parser
+        args = build_parser().parse_args(
+            ["serve", "kmeans", "--host", "0.0.0.0", "--port", "0"])
+        assert args.command == "serve" and args.port == 0
+
+    def test_async_backend_flag(self, capsys):
+        from repro.cli import main
+        code = main(["--seed", "3", "--backend", "async", "--workers",
+                     "2", "campaign", "kmeans", "k_d", "-n", "4"])
+        out = capsys.readouterr().out
+        assert code == 0 and "success_rate" in out

@@ -1,12 +1,18 @@
 """Engine determinism suite (the tentpole's shipping contract).
 
 Identical plans must yield identical campaign results regardless of
-worker count, and a cache-resumed campaign must reproduce the fresh
-run byte-for-byte while performing **zero** new faulty runs.  Checked
-across three studied apps (cg, kmeans, lulesh) for ``region_campaign``
-and on kmeans for the traced ``region_patterns`` sweep (cg/lulesh
-pattern sweeps take minutes; the campaign path exercises the identical
+worker count **and regardless of execution backend**, and a
+cache-resumed campaign must reproduce the fresh run byte-for-byte
+while performing **zero** new faulty runs.  Checked across three
+studied apps (cg, kmeans, lulesh) for ``region_campaign`` and on
+kmeans for the traced ``region_patterns`` sweep (cg/lulesh pattern
+sweeps take minutes; the campaign path exercises the identical
 pool/shard machinery for them).
+
+The backend-parity classes run for every backend named in
+``REPRO_PARITY_BACKENDS`` (comma-separated; default
+``local,async,socket``) — CI's ``backend-parity`` matrix sets it to
+one backend per job.
 
 "Byte-identical" is enforced by comparing a canonical JSON
 serialization of the outcome payload — not object equality, which
@@ -20,10 +26,17 @@ import pytest
 
 from repro.apps import REGISTRY
 from repro.core import FlipTracker
+from repro.engine.backends import AsyncBackend, ShardServer, SocketBackend
 
 APPS = ("cg", "kmeans", "lulesh")
 SEED = 20181111
 N = 8
+
+PARITY_BACKENDS = tuple(
+    name.strip()
+    for name in os.environ.get("REPRO_PARITY_BACKENDS",
+                               "local,async,socket").split(",")
+    if name.strip())
 
 pytestmark = pytest.mark.skipif(not hasattr(os, "fork"),
                                 reason="worker pools need fork here")
@@ -68,6 +81,79 @@ class TestWorkerCountInvariance:
                          cache_dir=cache_dir) as fresh:
             region = first_loop_region(fresh)
             r_fresh = fresh.region_campaign(region, "internal", n=N)
+        with FlipTracker(REGISTRY.build(app), seed=SEED, workers=1,
+                         cache_dir=cache_dir) as resumed:
+            r_resumed = resumed.region_campaign(region, "internal", n=N)
+        assert outcome_bytes(r_fresh) == outcome_bytes(r_resumed)
+        assert r_fresh.executed > 0
+        assert r_resumed.executed == 0  # zero new faulty runs
+        assert r_resumed.cached == N
+
+
+#: per-app sequential (workers=1, local) baseline, computed once:
+#: {app: (region, outcome_bytes)}
+_SEQ_BASELINE: dict = {}
+
+
+def sequential_baseline(app):
+    if app not in _SEQ_BASELINE:
+        with FlipTracker(REGISTRY.build(app), seed=SEED, workers=1) as ft:
+            region = first_loop_region(ft)
+            result = ft.region_campaign(region, "internal", n=N)
+            _SEQ_BASELINE[app] = (region, outcome_bytes(result))
+    return _SEQ_BASELINE[app]
+
+
+def make_backend(backend_name, app):
+    """Backend instance (+ server to stop, for socket) for one app."""
+    if backend_name == "socket":
+        server = ShardServer(REGISTRY.build(app), port=0).start()
+        return SocketBackend([("127.0.0.1", server.port)],
+                             fallback=False), server
+    if backend_name == "async":
+        return AsyncBackend(), None
+    if backend_name == "local":
+        return "local", None
+    raise ValueError(f"unknown parity backend {backend_name!r}")
+
+
+@pytest.mark.parametrize("backend_name", PARITY_BACKENDS)
+@pytest.mark.parametrize("app", APPS)
+class TestBackendParity:
+    """Every backend is byte-identical to the sequential engine.
+
+    ``shard_size=2`` forces several shards per campaign so the async
+    and socket backends exercise out-of-order completion + in-order
+    reassembly, not just a single round-trip.
+    """
+
+    def test_campaign_matches_sequential(self, app, backend_name):
+        region, baseline = sequential_baseline(app)
+        backend, server = make_backend(backend_name, app)
+        try:
+            with FlipTracker(REGISTRY.build(app), seed=SEED, workers=4,
+                             shard_size=2, backend=backend) as ft:
+                result = ft.region_campaign(region, "internal", n=N)
+        finally:
+            if server is not None:
+                server.stop()
+        assert outcome_bytes(result) == baseline
+        assert result.details["backend"] == backend_name
+
+    def test_fresh_vs_cache_resumed(self, app, backend_name, tmp_path):
+        cache_dir = str(tmp_path / app)
+        backend, server = make_backend(backend_name, app)
+        try:
+            with FlipTracker(REGISTRY.build(app), seed=SEED, workers=2,
+                             shard_size=2, backend=backend,
+                             cache_dir=cache_dir) as fresh:
+                region = first_loop_region(fresh)
+                r_fresh = fresh.region_campaign(region, "internal", n=N)
+        finally:
+            if server is not None:
+                server.stop()
+        # resume on the plain local engine: the spill written by any
+        # backend must serve any other backend
         with FlipTracker(REGISTRY.build(app), seed=SEED, workers=1,
                          cache_dir=cache_dir) as resumed:
             r_resumed = resumed.region_campaign(region, "internal", n=N)
