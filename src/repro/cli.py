@@ -10,10 +10,13 @@ Exposes the FlipTracker pipeline for interactive exploration:
 ``inject``     one traced injection: manifestation, ACL deaths, patterns
 ``acl``        ASCII rendering of the ACL curve for one injection (Fig. 7)
 ``campaign``   success-rate campaign for a region instance (Fig. 5 cell)
+``patterns``   traced pattern sweep per region (Table I row; sharded
+               over ``--backend`` like campaigns)
 ``rates``      the six pattern-rate features of a program (Table IV row)
 ``dot``        DDDG DOT export of a region instance (Graphviz)
 ``sample``     Leveugle sample-size calculator (Section IV-C)
 ``serve``      run a TCP shard server for ``--backend socket`` clients
+               (campaign ``RUN`` and traced ``ANALYZE`` jobs alike)
 =============  =============================================================
 
 Every command is deterministic under ``--seed``.  The engine flags
@@ -23,8 +26,10 @@ control the unified execution engine (see :mod:`repro.engine`):
 file, and ``--resume`` replays it so a repeated or interrupted campaign
 skips injections that already ran.  ``--backend`` picks the shard
 substrate (``local``/``async``/``socket`` — see
-:mod:`repro.engine.backends`); with ``socket``, ``--backend-addr``
-names the shard server(s) started via ``serve``.
+:mod:`repro.engine.backends`) for campaigns *and* traced analyses;
+with ``socket``, ``--backend-addr`` names the shard server(s) started
+via ``serve``, which execute both ``RUN`` and ``ANALYZE`` jobs
+(wire format: ``docs/protocol.md``).
 """
 
 from __future__ import annotations
@@ -165,6 +170,26 @@ def cmd_campaign(args) -> int:
     return 0
 
 
+def cmd_patterns(args) -> int:
+    ft = _tracker(args)
+    on_progress = None
+    if args.progress:
+        def on_progress(event):  # noqa: E306 - tiny local callback
+            print(f"  {event}", file=sys.stderr)
+    found = ft.region_patterns(runs_per_kind=args.runs_per_kind,
+                               instance_index=args.instance,
+                               loop_only=args.loop_only,
+                               probe_sites=args.probe_sites,
+                               on_progress=on_progress)
+    rows = [[region, ", ".join(sorted(pats)) if pats else "-"]
+            for region, pats in sorted(found.items())]
+    print(format_table(["Region", "Patterns"], rows,
+                       title=f"{args.app}: resilience patterns by region "
+                             f"(Table I, backend={args.backend})"))
+    ft.close()
+    return 0
+
+
 def cmd_rates(args) -> int:
     ft = _tracker(args)
     r = ft.pattern_rates()
@@ -240,8 +265,9 @@ def build_parser() -> argparse.ArgumentParser:
                    help="campaign checkpoint/progress granularity")
     p.add_argument("--backend", choices=("local", "async", "socket"),
                    default="local",
-                   help="shard-execution backend: in-host pool, asyncio "
-                        "worker fan-out, or remote TCP shard servers "
+                   help="shard-execution backend for campaigns and "
+                        "traced analyses: in-host pool, asyncio worker "
+                        "fan-out, or remote TCP shard servers "
                         "(byte-identical results either way)")
     p.add_argument("--backend-addr", default=None, metavar="HOST:PORT[,..]",
                    help="shard server address(es) for --backend socket "
@@ -287,6 +313,20 @@ def build_parser() -> argparse.ArgumentParser:
     sp.add_argument("--progress", action="store_true",
                     help="stream per-shard progress to stderr")
 
+    sp = app_cmd("patterns", "traced pattern sweep per region (Table I)")
+    sp.add_argument("--runs-per-kind", type=int, default=3,
+                    help="uniform input+internal draws per region "
+                         "instance (traced)")
+    sp.add_argument("--instance", type=int, default=0)
+    sp.add_argument("--loop-only", action="store_true",
+                    help="inject only into loop regions (straight "
+                         "regions are a few setup instructions)")
+    sp.add_argument("--probe-sites", type=int, default=0,
+                    help="add stratified low-bit probe injections per "
+                         "region (0 = uniform draws only)")
+    sp.add_argument("--progress", action="store_true",
+                    help="stream per-shard analysis progress to stderr")
+
     app_cmd("rates", "pattern-rate features (Table IV row)")
 
     sp = app_cmd("dot", "DDDG DOT export")
@@ -312,7 +352,8 @@ def build_parser() -> argparse.ArgumentParser:
 _HANDLERS = {
     "apps": cmd_apps, "trace": cmd_trace, "regions": cmd_regions,
     "io": cmd_io, "inject": cmd_inject, "acl": cmd_acl,
-    "campaign": cmd_campaign, "rates": cmd_rates, "dot": cmd_dot,
+    "campaign": cmd_campaign, "patterns": cmd_patterns,
+    "rates": cmd_rates, "dot": cmd_dot,
     "sample": cmd_sample, "serve": cmd_serve,
 }
 

@@ -369,7 +369,8 @@ class FlipTracker:
                         instance_index: int = 0,
                         loop_only: bool = False,
                         probe_sites: int = 0,
-                        probe_bits: Optional[Sequence[int]] = None
+                        probe_bits: Optional[Sequence[int]] = None,
+                        on_progress: Optional[ProgressCallback] = None
                         ) -> dict[str, set[str]]:
         """Patterns observed per region across sampled injections (Table I).
 
@@ -385,12 +386,16 @@ class FlipTracker:
         uniform draws — pattern detection needs low-bit coverage that
         uniform sampling only reaches at Leveugle-scale campaign sizes.
 
-        With ``self.workers > 1`` (and a fork-capable OS) the traced
-        analysis runs fan out across the engine's persistent pool; the
-        children inherit the parent's cached fault-free trace
-        copy-on-write.  Regions whose site populations are empty (a
-        straight region with no internal defs, say) are skipped rather
-        than failing the whole sweep.
+        The traced analysis runs are dispatched through the engine's
+        configured backend exactly like campaigns: the default local
+        pool fans out across fork children inheriting the cached
+        fault-free trace copy-on-write (needs ``self.workers > 1``),
+        while ``backend="async"``/``"socket"`` ship the analyses to
+        protocol workers or remote shard servers as ``ANALYZE`` frames
+        (see ``docs/protocol.md``) — results are byte-identical either
+        way.  Regions whose site populations are empty (a straight
+        region with no internal defs, say) are skipped rather than
+        failing the whole sweep.
         """
         found: dict[str, set[str]] = {r.region.name: set()
                                       for r in self.instances()
@@ -410,16 +415,19 @@ class FlipTracker:
             if probe_sites > 0:
                 plans.extend(self.probe_plans(inst, bits=probe_bits,
                                               n_sites=probe_sites))
-        for pats_by_region in self._analyze_many(plans):
+        for pats_by_region in self._analyze_many(plans,
+                                                 on_progress=on_progress):
             for region, pats in pats_by_region.items():
                 found.setdefault(region, set()).update(pats)
         return found
 
-    def _analyze_many(self, plans: Sequence[FaultPlan]
+    def _analyze_many(self, plans: Sequence[FaultPlan],
+                      on_progress: Optional[ProgressCallback] = None
                       ) -> list[dict[str, set[str]]]:
         """Patterns-by-region for many traced injections (engine-routed)."""
         return self.engine.analyze_plans(plans,
-                                         max_instr=self.faulty_budget)
+                                         max_instr=self.faulty_budget,
+                                         on_progress=on_progress)
 
     def compare_regions(self, analysis: RunAnalysis,
                         max_instance_records: int = 200_000):

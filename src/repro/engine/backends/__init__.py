@@ -1,8 +1,11 @@
 """Pluggable shard-execution backends for the :class:`ExecutionEngine`.
 
-The engine's ``run_plans`` loop decides *what* to execute (cache
-filtering, shard boundaries, plan-order assembly); a backend decides
-*where* (see :mod:`.base` for the contract).  Three substrates ship:
+The engine's ``run_plans`` / ``analyze_plans`` loops decide *what* to
+execute (cache filtering, shard boundaries, plan-order assembly); a
+backend decides *where* (see :mod:`.base` for the contract).  Every
+backend implements both shard operations — ``RUN`` (untraced campaign
+shards) and ``ANALYZE`` (traced pattern analyses, shipped as
+sorted-list pattern tables).  Three substrates ship:
 
 ``local``  :class:`LocalPoolBackend`
     The seed engine's persistent fork/spawn process pool,
@@ -22,7 +25,10 @@ filtering, shard boundaries, plan-order assembly); a backend decides
 
 All three feed the same content-addressed
 :class:`~repro.engine.cache.PlanCache` through the engine and are
-byte-identical to ``workers=1`` (``tests/test_determinism.py``).
+byte-identical to ``workers=1`` for campaigns *and* analyses
+(``tests/test_determinism.py``).  The wire protocol the async and
+socket substrates share is specified normatively in
+``docs/protocol.md`` (:mod:`.protocol` implements it).
 """
 
 from __future__ import annotations

@@ -1,21 +1,29 @@
 """The backend seam: how a shard of fault plans gets executed.
 
-:meth:`ExecutionEngine.run_plans` owns *what* runs (cache lookups,
+:meth:`ExecutionEngine.run_plans` and
+:meth:`ExecutionEngine.analyze_plans` own *what* runs (cache lookups,
 shard boundaries, result assembly, progress, checkpointing) and a
 :class:`Backend` owns *where* it runs.  The contract is deliberately
 tiny so that scaling work — remote shards, async fan-out, batching —
 is a new backend, not an engine rewrite:
 
 * the engine hands over the pending shards (plan order, already
-  deduplicated and cache-filtered);
-* the backend yields ``(shard_index, values)`` pairs **in shard
+  deduplicated and — for campaigns — cache-filtered);
+* the backend yields ``(shard_index, payload)`` pairs **in shard
   order**, whatever order the underlying substrate completed them in;
-* ``values`` are manifestation strings, one per plan, in plan order.
+* for :meth:`Backend.run_shards` the payload is a list of
+  manifestation strings, one per plan, in plan order;
+* for :meth:`Backend.analyze_shards` (traced pattern analyses) the
+  payload is a list of ``(manifestation, patterns)`` pairs in plan
+  order, where ``patterns`` maps region name to a **sorted list** of
+  pattern mnemonics — the canonical wire image, byte-stable across
+  substrates.
 
 Because the engine alone touches the :class:`~repro.engine.cache.
 PlanCache` and assembles results by plan index, any backend that
 honors this contract automatically inherits the determinism contract:
-``workers=1`` and every backend are byte-identical.
+``workers=1`` and every backend are byte-identical — for campaigns
+*and* for traced analyses.
 """
 
 from __future__ import annotations
@@ -26,6 +34,10 @@ from repro.vm.fault import FaultPlan
 
 #: manifestation values for one shard, in plan order
 ShardValues = "list[str]"
+
+#: traced results for one shard, in plan order:
+#: ``[(manifestation, {region: [pattern, ...sorted]}), ...]``
+ShardAnalyses = "list[tuple[str, dict[str, list[str]]]]"
 
 
 class Backend:
@@ -61,6 +73,20 @@ class Backend:
         """
         raise NotImplementedError
 
+    def analyze_shards(self, shards: Sequence[Sequence[FaultPlan]],
+                       max_instr: Optional[int]
+                       ) -> Iterator[tuple[int, list]]:
+        """Traced analyses for all shards -> ``(index, pairs)`` in order.
+
+        ``pairs`` is one ``(manifestation, patterns)`` tuple per plan,
+        in plan order, with ``patterns`` in the canonical sorted-list
+        image (see :func:`~repro.engine.backends.protocol.
+        encode_analysis`).  Same ordering contract as
+        :meth:`run_shards`; the engine caches each plan's manifestation
+        as a by-product so a later untraced campaign is free.
+        """
+        raise NotImplementedError
+
     def run_sequential(self, plans: Sequence[FaultPlan],
                        max_instr: Optional[int]) -> list[str]:
         """In-process reference execution (shared fallback path)."""
@@ -68,16 +94,33 @@ class Backend:
         return [run_plan(self.engine.program, plan, max_instr).value
                 for plan in plans]
 
+    def analyze_sequential(self, plans: Sequence[FaultPlan],
+                           max_instr: Optional[int]) -> list:
+        """In-process reference traced analysis (shared fallback path).
+
+        Uses the engine's tracker (building one if the engine was
+        created standalone); the traced run's budget comes from the
+        tracker itself, exactly as on a remote worker.
+        """
+        from repro.engine.backends import protocol
+        tracker = self.engine._tracker_for_analysis()
+        out = []
+        for plan in plans:
+            encoded = protocol.encode_analysis(
+                tracker.analyze_injection(plan))
+            out.append((encoded["m"], encoded["patterns"]))
+        return out
+
 
 def reassemble(completions, n_shards: int
-               ) -> Iterator[tuple[int, list[str]]]:
-    """Order an out-of-order ``(index, values)`` stream by shard index.
+               ) -> Iterator[tuple[int, list]]:
+    """Order an out-of-order ``(index, payload)`` stream by shard index.
 
-    ``completions`` is any iterator of ``(index, values)`` pairs (or
+    ``completions`` is any iterator of ``(index, payload)`` pairs (or
     raised exceptions); pairs are buffered until their index is next in
     line, so callers downstream always observe shard order.
     """
-    buffered: dict[int, list[str]] = {}
+    buffered: dict[int, list] = {}
     next_index = 0
     for index, values in completions:
         buffered[index] = values

@@ -1,22 +1,41 @@
 """Length-prefixed JSON shard protocol (async + socket backends).
 
+The normative specification of this protocol — frame format, handshake,
+operations, error codes, retry/failover semantics — lives in
+``docs/protocol.md``; this module is the single implementation both
+sides share, and CI's docs job fails if the constants below drift from
+the spec's tables.
+
 Every frame is a 4-byte big-endian length followed by a UTF-8 JSON
 object.  The conversation between a shard client and a shard worker:
 
 ``hello``
-    Client opens with ``{"op": "hello", "v": KEY_VERSION, "fp": ...}``
-    carrying its program fingerprint; the worker replies
+    Client opens with ``{"op": "hello", "pv": PROTOCOL_VERSION,
+    "v": KEY_VERSION, "fp": ...}`` carrying its protocol version, cache
+    key version and program fingerprint; the worker replies
     ``{"op": "hello", "ok": true, "fp": <its own>}`` or rejects with
-    ``ok: false`` and an ``error`` — a mismatched fingerprint means the
-    two sides would execute *different* programs and every cached
-    result would be poisoned, so the handshake is a hard gate.
+    ``ok: false``, an ``error`` message and a machine-readable
+    ``code`` — a mismatched fingerprint means the two sides would
+    execute *different* programs and every cached result would be
+    poisoned, so the handshake is a hard gate.
 
 ``run``
     ``{"op": "run", "shard": i, "max_instr": n|null, "plans": [...]}``
     with plans in the canonical :func:`~repro.engine.keys.encode_plan`
     image; the worker answers ``{"op": "result", "shard": i,
     "values": [...]}`` (manifestation strings, plan order) or
-    ``{"op": "error", "error": ...}``.
+    ``{"op": "error", "code": ..., "error": ...}``.
+
+``analyze``
+    ``{"op": "analyze", "shard": i, "max_instr": n|null,
+    "plans": [...]}`` requests *traced* pattern analyses; the worker
+    answers ``{"op": "analyzed", "shard": i, "results": [{"m": ...,
+    "patterns": {region: [pattern, ...]}}, ...]}`` in plan order.
+    Pattern sets travel as **sorted lists** so the frame bytes are a
+    pure function of the analysis outcome (byte-stable framing).
+    ``max_instr`` is carried for the client's by-product manifestation
+    caching; the traced run itself uses the worker's own faulty-run
+    budget, which the fingerprint gate guarantees is identical.
 
 ``bye``
     Polite shutdown; either side may also just close the socket
@@ -39,8 +58,40 @@ from repro.engine.keys import KEY_VERSION
 
 _HEADER = struct.Struct(">I")
 
+#: Wire-protocol revision, independent of :data:`KEY_VERSION` (which
+#: governs the cache-key encoding).  Bumped whenever the frame
+#: vocabulary changes; v1 was the PR-2 RUN-only protocol, v2 added the
+#: ANALYZE op, the ``pv`` handshake field and error codes.  The
+#: handshake and ``docs/protocol.md`` both reference this constant.
+PROTOCOL_VERSION = 2
+
 #: refuse absurd frames instead of allocating gigabytes on a bad peer
 MAX_FRAME = 64 * 1024 * 1024
+
+# ------------------------------------------------------------- op codes
+OP_HELLO = "hello"
+OP_RUN = "run"
+OP_ANALYZE = "analyze"
+OP_RESULT = "result"
+OP_ANALYZED = "analyzed"
+OP_ERROR = "error"
+OP_BYE = "bye"
+
+#: every op either side may put in a frame (docs drift-check anchor)
+OPS = (OP_HELLO, OP_RUN, OP_ANALYZE, OP_RESULT, OP_ANALYZED, OP_ERROR,
+       OP_BYE)
+
+# ---------------------------------------------------------- error codes
+ERR_PROTOCOL_VERSION = "protocol-version-mismatch"
+ERR_KEY_VERSION = "key-version-mismatch"
+ERR_FINGERPRINT = "fingerprint-mismatch"
+ERR_BAD_OP = "bad-op"
+ERR_EXEC = "exec-failed"
+
+#: every ``code`` a rejection/error frame may carry (docs drift-check
+#: anchor)
+ERROR_CODES = (ERR_PROTOCOL_VERSION, ERR_KEY_VERSION, ERR_FINGERPRINT,
+               ERR_BAD_OP, ERR_EXEC)
 
 
 class ProtocolError(RuntimeError):
@@ -119,9 +170,10 @@ async def async_recv(loop, sock: socket.socket) -> dict:
 # ------------------------------------------------------------- handshakes
 def client_hello(sock: socket.socket, fingerprint: str) -> dict:
     """Run the client side of the handshake; raise on rejection."""
-    send_msg(sock, {"op": "hello", "v": KEY_VERSION, "fp": fingerprint})
+    send_msg(sock, {"op": OP_HELLO, "pv": PROTOCOL_VERSION,
+                    "v": KEY_VERSION, "fp": fingerprint})
     reply = recv_msg(sock)
-    if reply is None or reply.get("op") != "hello":
+    if reply is None or reply.get("op") != OP_HELLO:
         raise ProtocolError(f"bad handshake reply: {reply!r}")
     if not reply.get("ok"):
         raise ProtocolError(reply.get("error", "handshake rejected"))
@@ -139,19 +191,27 @@ def hello_reply(msg: Optional[dict],
     """
     if msg is None:
         return False, None
-    if msg.get("op") != "hello":
-        return False, {"op": "hello", "ok": False,
+    if msg.get("op") != OP_HELLO:
+        return False, {"op": OP_HELLO, "ok": False, "code": ERR_BAD_OP,
                        "error": f"expected hello, got {msg.get('op')!r}"}
+    if msg.get("pv") != PROTOCOL_VERSION:
+        return False, {"op": OP_HELLO, "ok": False,
+                       "code": ERR_PROTOCOL_VERSION,
+                       "error": f"protocol-version mismatch: client "
+                                f"{msg.get('pv')!r} != server "
+                                f"{PROTOCOL_VERSION}"}
     if msg.get("v") != KEY_VERSION:
-        return False, {"op": "hello", "ok": False,
+        return False, {"op": OP_HELLO, "ok": False,
+                       "code": ERR_KEY_VERSION,
                        "error": f"key-version mismatch: client "
                                 f"{msg.get('v')!r} != server {KEY_VERSION}"}
     if msg.get("fp") != fingerprint:
-        return False, {"op": "hello", "ok": False,
+        return False, {"op": OP_HELLO, "ok": False,
+                       "code": ERR_FINGERPRINT,
                        "error": f"program fingerprint mismatch: client "
                                 f"{msg.get('fp')!r} != server "
                                 f"{fingerprint!r}"}
-    return True, {"op": "hello", "ok": True, "fp": fingerprint}
+    return True, {"op": OP_HELLO, "ok": True, "fp": fingerprint}
 
 
 def serve_hello(sock: socket.socket, fingerprint: str) -> bool:
@@ -163,9 +223,10 @@ def serve_hello(sock: socket.socket, fingerprint: str) -> bool:
     return accepted
 
 
+# ------------------------------------------------------------- run frames
 def run_request(shard: int, plans, max_instr: Optional[int]) -> dict:
     from repro.engine.keys import encode_plan
-    return {"op": "run", "shard": shard, "max_instr": max_instr,
+    return {"op": OP_RUN, "shard": shard, "max_instr": max_instr,
             "plans": [encode_plan(p) for p in plans]}
 
 
@@ -178,6 +239,87 @@ def execute_request(program, msg: dict) -> dict:
         values = [run_plan(program, plan, msg.get("max_instr")).value
                   for plan in plans]
     except Exception as exc:  # surface worker-side failures in-band
-        return {"op": "error", "shard": msg.get("shard"),
+        return {"op": OP_ERROR, "code": ERR_EXEC,
+                "shard": msg.get("shard"),
                 "error": f"{type(exc).__name__}: {exc}"}
-    return {"op": "result", "shard": msg["shard"], "values": values}
+    return {"op": OP_RESULT, "shard": msg["shard"], "values": values}
+
+
+# --------------------------------------------------------- analyze frames
+def analyze_request(shard: int, plans, max_instr: Optional[int]) -> dict:
+    """Build an ``analyze`` frame (traced patterns-by-region shard)."""
+    from repro.engine.keys import encode_plan
+    return {"op": OP_ANALYZE, "shard": shard, "max_instr": max_instr,
+            "plans": [encode_plan(p) for p in plans]}
+
+
+def encode_analysis(analysis) -> dict:
+    """Wire image of one traced analysis: manifestation + pattern table.
+
+    Pattern sets become **sorted lists** so the serialized frame is
+    byte-stable — two workers analyzing the same plan produce identical
+    bytes, which the parity suite compares across backends.
+    """
+    return {"m": analysis.manifestation.value,
+            "patterns": {region: sorted(pats) for region, pats
+                         in analysis.patterns_by_region().items()}}
+
+
+def execute_analyze_request(tracker, msg: dict) -> dict:
+    """Worker-side body of an ``analyze`` frame -> ``analyzed`` frame.
+
+    ``tracker`` is the worker's :class:`~repro.core.FlipTracker` for
+    the (fingerprint-verified) program; its own golden trace supplies
+    the faulty-run budget, so ``max_instr`` in the request is not used
+    here — it only keys the client's by-product manifestation caching.
+    """
+    from repro.engine.keys import decode_plan
+    try:
+        results = [encode_analysis(tracker.analyze_injection(decode_plan(p)))
+                   for p in msg["plans"]]
+    except Exception as exc:  # surface worker-side failures in-band
+        return {"op": OP_ERROR, "code": ERR_EXEC,
+                "shard": msg.get("shard"),
+                "error": f"{type(exc).__name__}: {exc}"}
+    return {"op": OP_ANALYZED, "shard": msg["shard"], "results": results}
+
+
+def decode_analysis_results(reply: dict, n_plans: int
+                            ) -> list[tuple[str, dict]]:
+    """Validate an ``analyzed`` reply -> ``[(manifestation, patterns)]``.
+
+    Raises :class:`ProtocolError` on any malformed reply — wrong
+    count, non-object entries, missing/ill-typed ``m`` or ``patterns``
+    — so every client (async worker, socket connection) rejects it
+    identically and its transport-failure handling (retry/failover)
+    applies instead of an uncaught ``KeyError`` killing the client.
+    """
+    results = reply.get("results")
+    if not isinstance(results, list) or len(results) != n_plans:
+        raise ProtocolError(
+            f"analyzed reply carries "
+            f"{len(results) if isinstance(results, list) else 'no'} "
+            f"results for {n_plans} plans")
+    decoded = []
+    for entry in results:
+        if not isinstance(entry, dict) or \
+                not isinstance(entry.get("m"), str) or \
+                not isinstance(entry.get("patterns"), dict):
+            raise ProtocolError(f"malformed analyzed entry: {entry!r}")
+        decoded.append((entry["m"], entry["patterns"]))
+    return decoded
+
+
+def decode_run_values(reply: dict, n_plans: int) -> list:
+    """Validate a ``result`` reply -> manifestation values, plan order.
+
+    Same :class:`ProtocolError` contract as
+    :func:`decode_analysis_results`.
+    """
+    values = reply.get("values")
+    if not isinstance(values, list) or len(values) != n_plans:
+        raise ProtocolError(
+            f"result reply carries "
+            f"{len(values) if isinstance(values, list) else 'no'} "
+            f"values for {n_plans} plans")
+    return values

@@ -21,6 +21,11 @@ hold their own build of the program; the backend:
   failure of the same shard is fatal (:class:`EngineError`), never a
   silent gap.
 
+Untraced campaign shards (``run`` frames) and traced pattern analyses
+(``analyze`` frames) travel the same machinery — handshake, retry,
+failover and fallback are identical for both, so a `region_patterns`
+sweep scales across shard servers exactly like a campaign.
+
 Completions arrive out of order across connections and are reassembled
 into shard order before the engine sees them, preserving byte-parity
 with ``workers=1``.
@@ -32,7 +37,7 @@ import queue
 import socket
 import threading
 import warnings
-from typing import Iterator, Optional, Sequence
+from typing import Callable, Iterator, Optional, Sequence
 
 from repro.engine.backends import protocol
 from repro.engine.backends.base import Backend, reassemble
@@ -84,25 +89,34 @@ class _Connection:
             self.sock.close()
             raise
 
-    def run_shard(self, index: int, plans: Sequence[FaultPlan],
-                  max_instr: Optional[int]) -> list[str]:
-        protocol.send_msg(self.sock,
-                          protocol.run_request(index, plans, max_instr))
+    def _round_trip(self, index: int, request: dict,
+                    expect_op: str) -> dict:
+        protocol.send_msg(self.sock, request)
         reply = protocol.recv_msg(self.sock)
         if reply is None:
             raise protocol.ProtocolError("server closed mid-shard")
-        if reply.get("op") != "result":
+        if reply.get("op") != expect_op:
             raise EngineError(f"shard {index}: server replied "
                               f"{reply.get('error', reply)!r}")
-        values = reply["values"]
-        if len(values) != len(plans):
-            raise EngineError(f"shard {index}: server returned "
-                              f"{len(values)} values for {len(plans)} plans")
-        return values
+        return reply
+
+    def run_shard(self, index: int, plans: Sequence[FaultPlan],
+                  max_instr: Optional[int]) -> list[str]:
+        reply = self._round_trip(
+            index, protocol.run_request(index, plans, max_instr),
+            protocol.OP_RESULT)
+        return protocol.decode_run_values(reply, len(plans))
+
+    def analyze_shard(self, index: int, plans: Sequence[FaultPlan],
+                      max_instr: Optional[int]) -> list:
+        reply = self._round_trip(
+            index, protocol.analyze_request(index, plans, max_instr),
+            protocol.OP_ANALYZED)
+        return protocol.decode_analysis_results(reply, len(plans))
 
     def close(self) -> None:
         try:
-            protocol.send_msg(self.sock, {"op": "bye"})
+            protocol.send_msg(self.sock, {"op": protocol.OP_BYE})
         except OSError:
             pass
         self.sock.close()
@@ -149,7 +163,7 @@ class SocketBackend(Backend):
                 "no shard server reachable ("
                 + "; ".join(refused)
                 + "); falling back to LocalPoolBackend",
-                RuntimeWarning, stacklevel=4)
+                RuntimeWarning, stacklevel=5)
             self._fallback_backend = self.engine.local_backend
 
     def close(self) -> None:
@@ -168,11 +182,29 @@ class SocketBackend(Backend):
     def run_shards(self, shards: Sequence[Sequence[FaultPlan]],
                    max_instr: Optional[int]
                    ) -> Iterator[tuple[int, list[str]]]:
+        yield from self._dispatch_shards(shards, max_instr,
+                                         _Connection.run_shard,
+                                         "run_shards")
+
+    def analyze_shards(self, shards: Sequence[Sequence[FaultPlan]],
+                       max_instr: Optional[int]
+                       ) -> Iterator[tuple[int, list]]:
+        yield from self._dispatch_shards(shards, max_instr,
+                                         _Connection.analyze_shard,
+                                         "analyze_shards")
+
+    def _dispatch_shards(self, shards, max_instr,
+                         runner: Callable, fallback_op: str
+                         ) -> Iterator[tuple[int, list]]:
+        """Shared fan-out for both ops; ``runner`` is the unbound
+        :class:`_Connection` method that round-trips one shard and
+        ``fallback_op`` names the equivalent local-backend method."""
         if not shards:
             return
         self._ensure_started()
         if self._fallback_backend is not None:
-            yield from self._fallback_backend.run_shards(shards, max_instr)
+            yield from getattr(self._fallback_backend, fallback_op)(
+                shards, max_instr)
             return
         pending: queue.Queue = queue.Queue()
         for index, plans in enumerate(shards):
@@ -181,7 +213,8 @@ class SocketBackend(Backend):
         stop = threading.Event()
         threads = [threading.Thread(
             target=self._serve_connection,
-            args=(conn, pending, results, stop, max_instr), daemon=True)
+            args=(conn, pending, results, stop, max_instr, runner),
+            daemon=True)
             for conn in list(self._connections)]
         for thread in threads:
             thread.start()
@@ -211,7 +244,8 @@ class SocketBackend(Backend):
 
     def _serve_connection(self, conn: _Connection, pending: queue.Queue,
                           results: queue.Queue, stop: threading.Event,
-                          max_instr: Optional[int]) -> None:
+                          max_instr: Optional[int],
+                          runner: Callable) -> None:
         """Connection-thread body: pull shards until done or dead."""
         while not stop.is_set():
             try:
@@ -219,8 +253,8 @@ class SocketBackend(Backend):
             except queue.Empty:
                 continue
             try:
-                results.put((index, conn.run_shard(index, plans,
-                                                   max_instr)))
+                results.put((index, runner(conn, index, plans,
+                                           max_instr)))
             except (OSError, protocol.ProtocolError) as exc:
                 if attempt == 0:
                     # exactly-once retry: hand the shard back for any

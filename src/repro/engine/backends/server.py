@@ -11,7 +11,17 @@ number of clients.  Start it from the CLI —
 the socket is listening (scripts can wait for that line), then accepts
 connections until interrupted.  Each connection is handled on its own
 thread: fingerprint handshake first (mismatches are rejected before
-any shard runs), then a loop of ``run`` -> ``result`` frames.
+any shard runs), then a loop of request/reply frames — ``run`` ->
+``result`` for untraced campaign shards and ``analyze`` ->
+``analyzed`` for traced pattern analyses.
+
+Analysis jobs need a :class:`~repro.core.FlipTracker` (golden trace,
+region model, pattern detectors); the server builds one lazily on the
+first ``analyze`` frame and keeps it for its lifetime, so the trace is
+warmed once no matter how many clients send analyses.  Traced runs
+execute under a lock: they are pure-Python CPU-bound work where thread
+concurrency buys nothing, and serializing them keeps the shared
+tracker's lazy caches race-free.
 
 Tests (and embedders) use :meth:`ShardServer.start` /
 :meth:`ShardServer.stop` to run the accept loop on a background
@@ -43,10 +53,13 @@ class ShardServer:
         self._stopping = threading.Event()
         self._accept_thread: threading.Thread | None = None
         self._conn_threads: list[threading.Thread] = []
+        self._tracker = None
+        self._analysis_lock = threading.Lock()
         # observability for tests and ops logs
         self.connections = 0
         self.rejected = 0
         self.shards_served = 0
+        self.analyses_served = 0
 
     # ------------------------------------------------------------ serving
     def serve_forever(self) -> None:
@@ -86,10 +99,46 @@ class ShardServer:
     def __exit__(self, *exc) -> None:
         self.stop()
 
+    # ------------------------------------------------------------ analyses
+    def _analysis_tracker(self):
+        """The server's FlipTracker, built once on first analyze.
+
+        Imported lazily: :mod:`repro.core` imports the engine package,
+        so a module-level import here would be circular.
+        """
+        with self._analysis_lock:
+            if self._tracker is None:
+                from repro.core.fliptracker import FlipTracker
+                self._tracker = FlipTracker(self.program, workers=1)
+                # warm the lazy caches while we hold the lock so
+                # concurrent connections only ever read them
+                self._tracker.fault_free_trace()
+                self._tracker.region_model()
+                self._tracker.instances()
+            return self._tracker
+
     # ------------------------------------------------------------ clients
+    def _dispatch(self, msg: dict) -> dict:
+        """One request frame -> its reply frame (op-switched).
+
+        Counters are bumped *before* the reply frame goes out, so a
+        client that just received a reply observes consistent counts.
+        """
+        op = msg.get("op")
+        if op == protocol.OP_RUN:
+            result = protocol.execute_request(self.program, msg)
+            self.shards_served += 1
+            return result
+        if op == protocol.OP_ANALYZE:
+            tracker = self._analysis_tracker()
+            with self._analysis_lock:
+                result = protocol.execute_analyze_request(tracker, msg)
+            self.analyses_served += 1
+            return result
+        return {"op": protocol.OP_ERROR, "code": protocol.ERR_BAD_OP,
+                "error": f"unexpected op {op!r}"}
+
     def _serve_client(self, conn: socket.socket) -> None:
-        # counters are bumped *before* the reply frame goes out, so a
-        # client that just received a reply observes consistent counts
         self.connections += 1
         try:
             accepted, reply = protocol.hello_reply(
@@ -102,16 +151,9 @@ class ShardServer:
             protocol.send_msg(conn, reply)
             while True:
                 msg = protocol.recv_msg(conn)
-                if msg is None or msg.get("op") == "bye":
+                if msg is None or msg.get("op") == protocol.OP_BYE:
                     return
-                if msg.get("op") != "run":
-                    protocol.send_msg(conn, {
-                        "op": "error",
-                        "error": f"unexpected op {msg.get('op')!r}"})
-                    continue
-                result = protocol.execute_request(self.program, msg)
-                self.shards_served += 1
-                protocol.send_msg(conn, result)
+                protocol.send_msg(conn, self._dispatch(msg))
         except (OSError, protocol.ProtocolError):
             pass  # client vanished; its backend handles the retry
         finally:

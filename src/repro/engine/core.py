@@ -7,10 +7,12 @@ delegate here.
 
 Where a shard *executes* is a :class:`~repro.engine.backends.Backend`
 (``local`` process pool, ``async`` event-loop fan-out, ``socket``
-remote shard servers — see :mod:`repro.engine.backends`); the engine
-keeps sole ownership of the :class:`PlanCache`, shard boundaries and
-plan-order assembly, so every backend inherits the determinism
-contract for free.
+remote shard servers — see :mod:`repro.engine.backends`) — and that
+holds for **both** shard operations: untraced campaign shards
+(:meth:`ExecutionEngine.run_plans`) and traced pattern analyses
+(:meth:`ExecutionEngine.analyze_plans`).  The engine keeps sole
+ownership of the :class:`PlanCache`, shard boundaries and plan-order
+assembly, so every backend inherits the determinism contract for free.
 
 Determinism: plan order — never worker arrival order — decides how
 results are assembled, shard boundaries depend only on the pending
@@ -24,7 +26,6 @@ from __future__ import annotations
 import os
 from typing import Iterable, Optional, Sequence
 
-from repro.engine import worker as worker_mod
 from repro.engine.cache import PlanCache
 from repro.engine.errors import EngineError
 from repro.engine.keys import encode_plan, plan_key, program_fingerprint
@@ -90,8 +91,8 @@ class ExecutionEngine:
         self.pool_starts = 0   # pools/worker fleets created over the lifetime
         self.backend = resolve_backend(backend, addresses=backend_addr)
         self.backend.bind(self)
-        # the local pool doubles as the traced-analysis executor and as
-        # the socket backend's no-server fallback, shared so its pool
+        # the local pool is the socket backend's no-server fallback
+        # (for campaigns and analyses alike), shared so its pool
         # starts at most once per engine
         if isinstance(self.backend, LocalPoolBackend):
             self._local = self.backend
@@ -102,7 +103,8 @@ class ExecutionEngine:
     # ------------------------------------------------------------ lifecycle
     @property
     def local_backend(self):
-        """The engine's :class:`LocalPoolBackend` (analysis + fallback)."""
+        """The engine's :class:`LocalPoolBackend` (the default backend
+        itself, or the socket backend's no-server fallback)."""
         return self._local
 
     def bind_tracker(self, tracker) -> None:
@@ -232,36 +234,54 @@ class ExecutionEngine:
                       ) -> list[dict[str, set[str]]]:
         """Patterns-by-region for many traced injections, in plan order.
 
-        Always runs on the local pool backend (traced analyses move
-        whole pattern tables, not three-word manifestations — remote
-        shipping is a future backend extension): fork children share
-        the tracker's golden trace copy-on-write; the manifestation of
-        each traced run is cached as a by-product when ``max_instr``
-        is provided, so a later untraced campaign over the same plans
-        is free.
+        Dispatches sharded analysis plans through ``self.backend``
+        exactly like :meth:`run_plans` — the local pool runs them on
+        fork children sharing the tracker's golden trace copy-on-write,
+        the ``async`` backend fans them out to its forked protocol
+        workers, and the ``socket`` backend ships them to shard servers
+        as ``ANALYZE`` frames (same handshake, per-shard retry,
+        failover and local fallback as campaigns; see
+        ``docs/protocol.md``).  Duplicate plans are analyzed once and
+        aliased.  The manifestation of each traced run is cached as a
+        by-product when ``max_instr`` is provided, so a later untraced
+        campaign over the same plans is free.  Unlike campaigns, the
+        pattern tables themselves are not cache-served: every call
+        re-analyzes (deterministically).
         """
         self._check_open()
         plans = list(plans)
-        tracker = self._tracker_for_analysis()
+        # the tracker must exist before dispatch so fork-based backends
+        # can warm it and let children inherit the golden trace
+        self._tracker_for_analysis()
+        keys = [plan_key(self.program_fp, p, max_instr) for p in plans]
         results: list[Optional[dict[str, set[str]]]] = [None] * len(plans)
-        pool = self._local.pool_for(len(plans))
-        if pool is None:
-            for i, plan in enumerate(plans):
-                analysis = tracker.analyze_injection(plan)
-                results[i] = {region: set(pats) for region, pats
-                              in analysis.patterns_by_region().items()}
-                self._cache_manifestation(plan, analysis.manifestation.value,
-                                          max_instr)
-                self._emit_analysis_progress(on_progress, i + 1, len(plans))
-        else:
-            done = 0
-            for i, value, patterns in pool.imap_unordered(
-                    worker_mod.analyze_task, list(enumerate(plans))):
-                results[i] = {region: set(pats)
-                              for region, pats in patterns.items()}
+
+        # one traced run per unique key; duplicates are aliased
+        pending: dict[str, list[int]] = {}
+        for i, key in enumerate(keys):
+            pending.setdefault(key, []).append(i)
+        unique = sorted(indices[0] for indices in pending.values())
+        shards = [unique[s:s + self.shard_size]
+                  for s in range(0, len(unique), self.shard_size)]
+        shard_plans = [[plans[i] for i in shard] for shard in shards]
+
+        done = 0
+        for s_i, pairs in self.backend.analyze_shards(shard_plans,
+                                                      max_instr):
+            shard = shards[s_i]
+            for i, (value, patterns) in zip(shard, pairs):
+                for alias in pending[keys[i]]:
+                    # fresh sets per alias: callers may mutate them
+                    results[alias] = {region: set(pats) for region, pats
+                                      in patterns.items()}
                 self._cache_manifestation(plans[i], value, max_instr)
-                done += 1
-                self._emit_analysis_progress(on_progress, done, len(plans))
+                done += len(pending[keys[i]])
+            self.executed += len(shard)
+            self._emit_analysis_progress(on_progress, done, len(plans),
+                                         s_i + 1, len(shards))
+        if not shards:
+            self._emit_analysis_progress(on_progress, len(plans),
+                                         len(plans), 0, 0)
         self.cache.flush()
         return results  # type: ignore[return-value]
 
@@ -279,11 +299,12 @@ class ExecutionEngine:
                                         "label": "analysis"})
 
     @staticmethod
-    def _emit_analysis_progress(on_progress, done: int, total: int) -> None:
+    def _emit_analysis_progress(on_progress, done: int, total: int,
+                                shard: int, shards: int) -> None:
         if on_progress is not None:
             on_progress(ProgressEvent(label="analysis", phase="analysis",
                                       done=done, total=total,
-                                      shard=done, shards=total))
+                                      shard=shard, shards=shards))
 
     # ------------------------------------------------------------ stats
     def stats(self) -> dict:

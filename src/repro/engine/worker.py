@@ -14,6 +14,12 @@ One module-level state dict serves both start methods:
 Task payloads carry explicit indices so the engine can reassemble
 results in plan order no matter the arrival order — the root of the
 workers=1 vs workers=N determinism guarantee.
+
+These tasks serve the :class:`~repro.engine.backends.local.
+LocalPoolBackend`; protocol workers (async backend children, shard
+servers) execute the equivalent request bodies in
+:mod:`repro.engine.backends.protocol` instead — both sort pattern
+sets into lists so the two paths produce byte-identical tables.
 """
 
 from __future__ import annotations
@@ -68,10 +74,12 @@ def analyze_task(task: tuple[int, FaultPlan]
                  ) -> tuple[int, str, dict[str, list[str]]]:
     """One traced analysis -> (index, manifestation, patterns-by-region).
 
-    Pattern sets are sorted into lists so the wire format is canonical.
+    The result travels in the canonical
+    :func:`~repro.engine.backends.protocol.encode_analysis` image
+    (pattern sets as sorted lists) — one encoder for the pool and the
+    wire paths, so cross-backend byte-parity cannot drift.
     """
+    from repro.engine.backends.protocol import encode_analysis
     index, plan = task
-    analysis = _tracker().analyze_injection(plan)
-    patterns = {region: sorted(pats) for region, pats
-                in analysis.patterns_by_region().items()}
-    return index, analysis.manifestation.value, patterns
+    encoded = encode_analysis(_tracker().analyze_injection(plan))
+    return index, encoded["m"], encoded["patterns"]

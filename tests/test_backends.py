@@ -168,8 +168,9 @@ class TestSocketBackend:
 
 # --------------------------------------------------------- socket failure
 class DroppingServer(ShardServer):
-    """Shard server that abruptly drops the first ``drop_first`` run
-    requests mid-shard (accepts reconnects afterwards)."""
+    """Shard server that abruptly drops the first ``drop_first``
+    requests (``run`` and ``analyze`` alike) mid-shard, accepting
+    reconnects afterwards."""
 
     def __init__(self, program, drop_first: int):
         super().__init__(program, port=0)
@@ -194,9 +195,8 @@ class DroppingServer(ShardServer):
                         self._drop_remaining -= 1
                 if drop:
                     return  # vanish mid-shard, no reply
-                result = protocol.execute_request(self.program, msg)
-                self.shards_served += 1  # before the reply, like the base
-                protocol.send_msg(conn, result)
+                # the real op dispatch (run/analyze), counters included
+                protocol.send_msg(conn, self._dispatch(msg))
         except (OSError, protocol.ProtocolError):
             pass
         finally:
@@ -234,6 +234,203 @@ class TestSocketRetry:
             # close() reports the lost shard instead of pretending success
             with pytest.raises(EngineError, match="shard 0 failed"):
                 eng.close()
+
+
+# ----------------------------------------------------------- ANALYZE op
+def sequential_analyses(plans):
+    """Reference traced results on a fresh sequential tracker."""
+    with FlipTracker(tiny_program(), seed=9) as ft:
+        return ft._analyze_many(plans)
+
+
+class TestAnalyzeOp:
+    """Failure paths and happy paths of the ANALYZE shard operation."""
+
+    def test_protocol_roundtrip_is_sorted_lists(self):
+        prog = tiny_program()
+        ft = FlipTracker(prog, seed=9)
+        plans = ft.make_plans(loop_instance(ft), "internal", 2)
+        from repro.engine.keys import encode_plan
+        reply = protocol.execute_analyze_request(
+            ft, {"op": "analyze", "shard": 5,
+                 "plans": [encode_plan(p) for p in plans]})
+        assert reply["op"] == "analyzed" and reply["shard"] == 5
+        assert len(reply["results"]) == 2
+        for result in reply["results"]:
+            assert isinstance(result["m"], str)
+            for pats in result["patterns"].values():
+                assert pats == sorted(pats)  # canonical wire image
+
+    def test_execute_analyze_reports_errors_in_band(self):
+        ft = FlipTracker(tiny_program(), seed=9)
+        reply = protocol.execute_analyze_request(
+            ft, {"op": "analyze", "shard": 2, "plans": [{"bogus": 1}]})
+        assert reply["op"] == "error" and reply["shard"] == 2
+        assert reply["code"] == protocol.ERR_EXEC
+
+    def test_socket_analyze_end_to_end(self):
+        prog = tiny_program()
+        ft = FlipTracker(prog, seed=9)
+        plans = ft.make_plans(loop_instance(ft), "internal", 6)
+        baseline = sequential_analyses(plans)
+        with ShardServer(tiny_program(), port=0).start() as srv:
+            backend = SocketBackend([("127.0.0.1", srv.port)],
+                                    fallback=False)
+            with ExecutionEngine(tiny_program(), shard_size=2,
+                                 backend=backend) as eng:
+                from repro.engine import plan_key
+                unique = len({plan_key(eng.program_fp, p,
+                                       ft.faulty_budget) for p in plans})
+                results = eng.analyze_plans(plans,
+                                            max_instr=ft.faulty_budget)
+            # one ANALYZE frame per shard of unique plans
+            assert srv.analyses_served == -(-unique // 2)
+        assert results == baseline
+
+    def test_analyze_server_fallback_when_unreachable(self):
+        prog = tiny_program()
+        ft = FlipTracker(prog, seed=9)
+        plans = ft.make_plans(loop_instance(ft), "internal", 4)
+        baseline = sequential_analyses(plans)
+        backend = SocketBackend([("127.0.0.1", free_port())])
+        with ExecutionEngine(tiny_program(), backend=backend) as eng:
+            with pytest.warns(RuntimeWarning, match="falling back to "
+                                                    "LocalPoolBackend"):
+                results = eng.analyze_plans(plans,
+                                            max_instr=ft.faulty_budget)
+        assert results == baseline
+
+    def test_analyze_fingerprint_mismatch_rejected(self):
+        prog = tiny_program()
+        ft = FlipTracker(prog, seed=9)
+        plans = ft.make_plans(loop_instance(ft), "internal", 2)
+        with ShardServer(tiny_program("imposter"), port=0).start() as srv:
+            backend = SocketBackend([("127.0.0.1", srv.port)])
+            with pytest.raises(EngineError,
+                               match="fingerprint mismatch"):
+                with ExecutionEngine(tiny_program(),
+                                     backend=backend) as eng:
+                    eng.analyze_plans(plans, max_instr=ft.faulty_budget)
+            assert srv.rejected == 1 and srv.analyses_served == 0
+
+    def test_analyze_mid_shard_drop_retries_once(self):
+        prog = tiny_program()
+        ft = FlipTracker(prog, seed=9)
+        plans = ft.make_plans(loop_instance(ft), "internal", 6)
+        baseline = sequential_analyses(plans)
+        with DroppingServer(tiny_program(), drop_first=1).start() as srv:
+            backend = SocketBackend([("127.0.0.1", srv.port)],
+                                    fallback=False)
+            with ExecutionEngine(tiny_program(), shard_size=2,
+                                 backend=backend) as eng:
+                results = eng.analyze_plans(plans,
+                                            max_instr=ft.faulty_budget)
+            # the dropped shard was re-sent once; every shard answered
+            assert srv.run_requests == srv.analyses_served + 1
+        assert results == baseline
+
+    @needs_fork
+    def test_analyze_dead_pool_worker_fails_shard(self, monkeypatch):
+        """A pool worker dying mid-ANALYZE must fail the shard with its
+        index (and close() must report it), like the campaign path."""
+        import repro.engine.worker as worker_mod
+        prog = tiny_program()
+        ft = FlipTracker(prog, seed=9)
+        plans = ft.make_plans(loop_instance(ft), "internal", 8)
+        eng = ExecutionEngine(tiny_program(), workers=2, min_parallel=1)
+        monkeypatch.setattr(worker_mod, "analyze_task", _exit_worker)
+        with pytest.raises(EngineError, match="shard 0"):
+            eng.analyze_plans(plans, max_instr=ft.faulty_budget)
+        assert eng.backend.failed_shard == 0
+        with pytest.raises(EngineError, match="shard 0 failed"):
+            eng.close()
+
+    def test_malformed_analyzed_reply_fails_not_hangs(self):
+        """A rogue server passing the handshake but replying null
+        results must fail the shard through the retry machinery — a
+        bounded EngineError, never a dead thread and a hung engine."""
+        class RogueServer(ShardServer):
+            def _dispatch(self, msg):
+                if msg.get("op") == "analyze":
+                    return {"op": "analyzed", "shard": msg["shard"],
+                            "results": [None] * len(msg["plans"])}
+                return super()._dispatch(msg)
+
+        prog = tiny_program()
+        ft = FlipTracker(prog, seed=9)
+        plans = ft.make_plans(loop_instance(ft), "internal", 4)
+        with RogueServer(tiny_program(), port=0).start() as srv:
+            backend = SocketBackend([("127.0.0.1", srv.port)],
+                                    fallback=False)
+            eng = ExecutionEngine(tiny_program(), backend=backend)
+            with pytest.raises(EngineError, match="failed twice"):
+                eng.analyze_plans(plans, max_instr=ft.faulty_budget)
+            with pytest.raises(EngineError, match="failed"):
+                eng.close()
+
+    @needs_fork
+    def test_async_analyze_matches_sequential(self):
+        prog = tiny_program()
+        ft = FlipTracker(prog, seed=9)
+        plans = ft.make_plans(loop_instance(ft), "internal", 6)
+        baseline = sequential_analyses(plans)
+        with ExecutionEngine(tiny_program(), workers=2, shard_size=2,
+                             backend=AsyncBackend()) as eng:
+            results = eng.analyze_plans(plans, max_instr=ft.faulty_budget)
+        assert results == baseline
+
+    def test_duplicate_plans_analyzed_once(self):
+        prog = tiny_program()
+        ft = FlipTracker(prog, seed=9)
+        plan = ft.make_plans(loop_instance(ft), "internal", 1)[0]
+        with ExecutionEngine(tiny_program()) as eng:
+            before = eng.executed
+            results = eng.analyze_plans([plan, plan, plan],
+                                        max_instr=ft.faulty_budget)
+            assert eng.executed == before + 1  # aliased, one traced run
+        assert results[0] == results[1] == results[2]
+        # aliases carry fresh sets: mutating one must not leak
+        for pats in results[0].values():
+            pats.add("MUTATED")
+        assert all("MUTATED" not in pats
+                   for pats in results[1].values())
+
+
+# --------------------------------------------------------- handshake v2
+class TestHandshakeVersioning:
+    def test_hello_carries_protocol_version(self):
+        a, b = socket.socketpair()
+        t = threading.Thread(target=protocol.client_hello, args=(a, "fp"))
+        t.start()
+        msg = protocol.recv_msg(b)
+        assert msg["pv"] == protocol.PROTOCOL_VERSION
+        protocol.send_msg(b, {"op": "hello", "ok": True, "fp": "fp"})
+        t.join()
+        a.close()
+        b.close()
+
+    def test_protocol_version_mismatch_rejected_with_code(self):
+        accepted, reply = protocol.hello_reply(
+            {"op": "hello", "pv": protocol.PROTOCOL_VERSION + 1,
+             "v": 1, "fp": "fp"}, "fp")
+        assert not accepted
+        assert reply["code"] == protocol.ERR_PROTOCOL_VERSION
+
+    def test_fingerprint_mismatch_carries_code(self):
+        accepted, reply = protocol.hello_reply(
+            {"op": "hello", "pv": protocol.PROTOCOL_VERSION,
+             "v": protocol.KEY_VERSION, "fp": "other"}, "fp")
+        assert not accepted
+        assert reply["code"] == protocol.ERR_FINGERPRINT
+
+    def test_unknown_op_rejected_in_dispatch(self):
+        srv = ShardServer(tiny_program(), port=0)
+        try:
+            reply = srv._dispatch({"op": "carrier-pigeon"})
+            assert reply["op"] == "error"
+            assert reply["code"] == protocol.ERR_BAD_OP
+        finally:
+            srv.stop()
 
 
 # ------------------------------------------------------------------ async
@@ -338,6 +535,18 @@ class TestCliBackendFlag:
             out = capsys.readouterr().out
             assert code == 0 and "success_rate" in out
             assert srv.shards_served >= 1
+
+    def test_patterns_over_socket_backend(self, capsys):
+        """The Table I sweep ships ANALYZE shards to the shard server."""
+        from repro.cli import main
+        with ShardServer(REGISTRY.build("kmeans"), port=0).start() as srv:
+            code = main(["--seed", "3", "--backend", "socket",
+                         "--backend-addr", f"127.0.0.1:{srv.port}",
+                         "patterns", "kmeans", "--runs-per-kind", "1",
+                         "--loop-only"])
+            out = capsys.readouterr().out
+            assert code == 0 and "resilience patterns" in out
+            assert srv.analyses_served >= 1
 
     def test_serve_parser_accepts_host_port(self):
         from repro.cli import build_parser

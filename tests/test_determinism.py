@@ -7,7 +7,9 @@ while performing **zero** new faulty runs.  Checked across three
 studied apps (cg, kmeans, lulesh) for ``region_campaign`` and on
 kmeans for the traced ``region_patterns`` sweep (cg/lulesh pattern
 sweeps take minutes; the campaign path exercises the identical
-pool/shard machinery for them).
+pool/shard machinery for them).  Traced analyses ride the same backend
+seam since PR 3, so ``TestAnalysisBackendParity`` locks their
+byte-parity across backends too.
 
 The backend-parity classes run for every backend named in
 ``REPRO_PARITY_BACKENDS`` (comma-separated; default
@@ -161,6 +163,67 @@ class TestBackendParity:
         assert r_fresh.executed > 0
         assert r_resumed.executed == 0  # zero new faulty runs
         assert r_resumed.cached == N
+
+
+#: sequential (workers=1, local) kmeans traced-sweep baseline bytes
+_PATTERNS_BASELINE: dict = {}
+
+
+def patterns_baseline() -> bytes:
+    if "kmeans" not in _PATTERNS_BASELINE:
+        with FlipTracker(REGISTRY.build("kmeans"), seed=SEED,
+                         workers=1) as ft:
+            _PATTERNS_BASELINE["kmeans"] = patterns_bytes(
+                ft.region_patterns(runs_per_kind=1, loop_only=True))
+    return _PATTERNS_BASELINE["kmeans"]
+
+
+@pytest.mark.parametrize("backend_name", PARITY_BACKENDS)
+class TestAnalysisBackendParity:
+    """Traced analyses are byte-identical across every backend.
+
+    ``region_patterns`` dispatches ``ANALYZE`` shards through the
+    engine's backend (pattern tables travel as sorted lists — see
+    ``docs/protocol.md``); ``shard_size=2`` forces several analysis
+    shards so out-of-order completion + in-order reassembly is
+    exercised, exactly as in the campaign parity class.
+    """
+
+    def test_region_patterns_matches_sequential(self, backend_name):
+        baseline = patterns_baseline()
+        backend, server = make_backend(backend_name, "kmeans")
+        try:
+            with FlipTracker(REGISTRY.build("kmeans"), seed=SEED,
+                             workers=4, shard_size=2,
+                             backend=backend) as ft:
+                found = ft.region_patterns(runs_per_kind=1,
+                                           loop_only=True)
+        finally:
+            if server is not None:
+                server.stop()
+        assert patterns_bytes(found) == baseline
+        assert any(found.values())  # the sweep saw at least one pattern
+
+    def test_analysis_by_product_warms_campaign_cache(self, backend_name):
+        """Traced shards cache manifestations: an untraced campaign over
+        the same plans afterwards performs zero new faulty runs, on
+        every backend."""
+        backend, server = make_backend(backend_name, "kmeans")
+        try:
+            with FlipTracker(REGISTRY.build("kmeans"), seed=SEED,
+                             workers=2, shard_size=2,
+                             backend=backend) as ft:
+                region = first_loop_region(ft)
+                inst = ft.instance_of(region)
+                plans = ft.make_plans(inst, "internal", 4)
+                ft._analyze_many(plans)
+                result = ft.engine.run_plans(plans,
+                                             max_instr=ft.faulty_budget)
+        finally:
+            if server is not None:
+                server.stop()
+        assert result.details["executed"] == 0
+        assert result.details["cached"] == 4
 
 
 class TestRegionPatternsInvariance:

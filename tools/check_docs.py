@@ -1,0 +1,154 @@
+#!/usr/bin/env python
+"""Docs gate: link-check the markdown suite, drift-check the protocol spec.
+
+Run from the repository root (CI's ``docs`` job does):
+
+    PYTHONPATH=src python tools/check_docs.py
+
+Two checks, both fatal on failure:
+
+1. **Link check** — every relative markdown link in ``README.md``,
+   ``ROADMAP.md`` and ``docs/*.md`` must point at an existing file;
+   fragment links (``#anchor``) must match a heading in the target
+   document (GitHub slugification).
+2. **Protocol drift check** — the Constants / Operations / Error codes
+   tables in ``docs/protocol.md`` must agree with
+   ``repro.engine.backends.protocol`` (and ``DEFAULT_PORT`` with
+   ``repro.engine.backends.remote``), so the spec cannot silently rot
+   while the implementation moves on.
+"""
+
+from __future__ import annotations
+
+import re
+import sys
+from pathlib import Path
+
+REPO = Path(__file__).resolve().parent.parent
+
+DOC_FILES = [REPO / "README.md", REPO / "ROADMAP.md",
+             *sorted((REPO / "docs").glob("*.md"))]
+
+_LINK_RE = re.compile(r"(?<!!)\[[^\]]+\]\(([^)\s]+)\)")
+_HEADING_RE = re.compile(r"^#{1,6}\s+(.*)$", re.MULTILINE)
+_CODE_FENCE_RE = re.compile(r"```.*?```", re.DOTALL)
+
+
+def github_slug(heading: str) -> str:
+    """GitHub's anchor slug for a heading (close enough for our docs)."""
+    text = heading.strip().lower()
+    text = re.sub(r"[`*_]", "", text)
+    text = re.sub(r"[^\w\- ]", "", text)
+    return text.replace(" ", "-")
+
+
+def heading_slugs(path: Path) -> set:
+    text = _CODE_FENCE_RE.sub("", path.read_text(encoding="utf-8"))
+    return {github_slug(m.group(1)) for m in _HEADING_RE.finditer(text)}
+
+
+def check_links() -> list:
+    errors = []
+    for doc in DOC_FILES:
+        if not doc.exists():
+            errors.append(f"{doc.relative_to(REPO)}: file missing")
+            continue
+        text = _CODE_FENCE_RE.sub("", doc.read_text(encoding="utf-8"))
+        for target in _LINK_RE.findall(text):
+            if target.startswith(("http://", "https://", "mailto:")):
+                continue  # external links are not checked offline
+            path_part, _, fragment = target.partition("#")
+            base = doc if not path_part else \
+                (doc.parent / path_part).resolve()
+            if not base.exists():
+                errors.append(f"{doc.relative_to(REPO)}: broken link "
+                              f"-> {target}")
+                continue
+            if fragment and base.suffix == ".md" and \
+                    fragment not in heading_slugs(base):
+                errors.append(f"{doc.relative_to(REPO)}: missing anchor "
+                              f"-> {target}")
+    return errors
+
+
+# ------------------------------------------------------------- drift check
+def section_table(text: str, heading: str) -> list:
+    """First-column cells (backtick-stripped) of the table under
+    ``heading``, plus the raw second column for value tables."""
+    pattern = re.compile(rf"^##+\s+{re.escape(heading)}\s*$", re.MULTILINE)
+    match = pattern.search(text)
+    if match is None:
+        raise SystemExit(f"docs/protocol.md: section {heading!r} not found")
+    rows = []
+    for line in text[match.end():].splitlines():
+        stripped = line.strip()
+        if stripped.startswith("##"):
+            break  # next section
+        if not stripped.startswith("|"):
+            continue
+        cells = [c.strip().strip("`") for c in stripped.strip("|")
+                 .split("|")]
+        if not cells or set(cells[0]) <= {"-", " ", ":"}:
+            continue  # separator row
+        rows.append(cells)
+    if rows and rows[0][0].lower() in ("constant", "op", "code"):
+        rows = rows[1:]  # header row
+    return rows
+
+
+def check_protocol_drift() -> list:
+    sys.path.insert(0, str(REPO / "src"))
+    from repro.engine.backends import protocol, remote
+
+    text = (REPO / "docs" / "protocol.md").read_text(encoding="utf-8")
+    errors = []
+
+    expected_constants = {
+        "PROTOCOL_VERSION": protocol.PROTOCOL_VERSION,
+        "KEY_VERSION": protocol.KEY_VERSION,
+        "MAX_FRAME": protocol.MAX_FRAME,
+        "DEFAULT_PORT": remote.DEFAULT_PORT,
+    }
+    documented = {row[0]: row[1] for row in section_table(text, "Constants")}
+    for name, value in expected_constants.items():
+        if name not in documented:
+            errors.append(f"protocol.md Constants: {name} undocumented")
+        elif documented[name] != str(value):
+            errors.append(f"protocol.md Constants: {name} documented as "
+                          f"{documented[name]!r}, code says {value!r}")
+    for name in documented:
+        if name not in expected_constants:
+            errors.append(f"protocol.md Constants: {name} documented but "
+                          f"not drift-checked (extend tools/check_docs.py)")
+
+    doc_ops = [row[0] for row in section_table(text, "Operations")]
+    if doc_ops != list(protocol.OPS):
+        errors.append(f"protocol.md Operations table {doc_ops} != "
+                      f"protocol.OPS {list(protocol.OPS)}")
+
+    doc_codes = [row[0] for row in section_table(text, "Error codes")]
+    if doc_codes != list(protocol.ERROR_CODES):
+        errors.append(f"protocol.md Error codes table {doc_codes} != "
+                      f"protocol.ERROR_CODES {list(protocol.ERROR_CODES)}")
+
+    # the spec's title must name the version it specifies
+    first_line = text.splitlines()[0]
+    if f"version {protocol.PROTOCOL_VERSION}" not in first_line:
+        errors.append(f"protocol.md title {first_line!r} does not name "
+                      f"protocol version {protocol.PROTOCOL_VERSION}")
+    return errors
+
+
+def main() -> int:
+    errors = check_links() + check_protocol_drift()
+    for error in errors:
+        print(f"FAIL: {error}", file=sys.stderr)
+    if errors:
+        return 1
+    print(f"docs ok: {len(DOC_FILES)} files link-checked, protocol tables "
+          f"match the implementation")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())
