@@ -20,6 +20,7 @@ Shape checks from Section V-C:
 
 from conftest import scaled, tracker
 
+from repro.api import CampaignSpec, Experiment, run_experiment
 from repro.faults.campaign import run_campaign
 from repro.util.tables import format_table
 from repro.vm.fault import FaultPlan
@@ -29,19 +30,29 @@ N_PER_TARGET = 40  # paper: Leveugle 95%/3% (~1067); scaled for runtime
 
 
 def _campaigns():
-    results = {}
+    """The whole Fig. 5 grid as ONE declarative experiment.
+
+    Every (app, loop region, kind) cell is a spec; the runner batches
+    them into a single engine dispatch per (app, kind) instead of one
+    fan-out (with a barrier) per region — see docs/experiments.md.
+    """
+    specs = []
     for app in APPS:
         ft = tracker(app)
-        per_region = {}
         for inst in ft.instances():
             if inst.index != 0 or inst.region.kind != "loop":
                 continue
-            name = inst.region.name
-            per_region[name] = {
-                kind: ft.region_campaign(name, kind, n=scaled(N_PER_TARGET))
-                for kind in ("internal", "input")
-            }
-        results[app] = per_region
+            for kind in ("internal", "input"):
+                specs.append(CampaignSpec(app=app, region=inst.region.name,
+                                          kind=kind,
+                                          n=scaled(N_PER_TARGET)))
+    experiment = Experiment(name="fig5-grid", apps=APPS,
+                            specs=tuple(specs))
+    res = run_experiment(experiment, tracker_factory=tracker)
+    results = {app: {} for app in APPS}
+    for index, spec in enumerate(experiment.specs):
+        per_region = results[spec.app].setdefault(spec.region, {})
+        per_region[spec.kind] = res.campaign(spec.app, index)
     results["is_bits"] = _is_bit_strata()
     return results
 

@@ -9,6 +9,7 @@ proportions; later iterations of the solvers never collapse to zero
 
 from conftest import scaled, tracker
 
+from repro.api import CampaignSpec, Experiment, run_experiment
 from repro.util.tables import format_table
 
 APPS = ("cg", "mg", "kmeans", "is", "lulesh")
@@ -17,16 +18,25 @@ MAX_ITERS = 5
 
 
 def _campaigns():
-    results = {}
+    """The Fig. 6 iteration grid as ONE declarative experiment
+    (one batched dispatch per (app, kind) — see docs/experiments.md)."""
+    specs = []
     for app in APPS:
         ft = tracker(app)
-        iters = ft.main_loop_iterations()[:MAX_ITERS]
-        per_iter = []
-        for i, _inst in enumerate(iters):
-            per_iter.append({
-                kind: ft.iteration_campaign(i, kind, n=scaled(N_PER_ITER))
-                for kind in ("internal", "input")})
-        results[app] = per_iter
+        for i in range(len(ft.main_loop_iterations()[:MAX_ITERS])):
+            for kind in ("internal", "input"):
+                specs.append(CampaignSpec(app=app, target="iteration",
+                                          iteration=i, kind=kind,
+                                          n=scaled(N_PER_ITER)))
+    experiment = Experiment(name="fig6-grid", apps=APPS,
+                            specs=tuple(specs))
+    res = run_experiment(experiment, tracker_factory=tracker)
+    results = {app: [] for app in APPS}
+    for index, spec in enumerate(experiment.specs):
+        per_iter = results[spec.app]
+        while len(per_iter) <= spec.iteration:
+            per_iter.append({})
+        per_iter[spec.iteration][spec.kind] = res.campaign(spec.app, index)
     return results
 
 

@@ -14,7 +14,8 @@ Paper shape being checked:
 
 from conftest import scaled, tracker
 
-from repro.core.report import render_table1, table1_for_program
+from repro.api import AnalysisSpec, Experiment, run_experiment
+from repro.core.report import render_table1, table1_from_patterns
 from repro.vm.fault import FaultPlan
 
 APPS = ("cg", "mg", "kmeans", "is", "lulesh")
@@ -35,11 +36,17 @@ PROBE_BITS = (0, 20)
 
 
 def _collect():
+    """The Table I sweep as ONE declarative experiment: a single
+    AnalysisSpec applied to all five apps, one traced dispatch each."""
+    experiment = Experiment(
+        name="table1-sweep", apps=APPS,
+        specs=(AnalysisSpec(runs_per_kind=1, loop_only=True,
+                            probe_sites=2, probe_bits=PROBE_BITS),))
+    res = run_experiment(experiment, tracker_factory=tracker)
     all_rows = {}
     for app in APPS:
         ft = tracker(app)
-        rows = table1_for_program(ft, runs_per_kind=1, probe_sites=2,
-                                  probe_bits=PROBE_BITS)
+        rows = table1_from_patterns(ft, res.patterns(app, 0))
         if app == "mg":
             analysis = ft.analyze_injection(_mg_table2_probe(ft))
             extra = analysis.patterns_by_region()

@@ -1,0 +1,62 @@
+#!/usr/bin/env python3
+"""Declarative experiments: one artifact, one dispatch per kind.
+
+Builds a small Fig. 5-style grid over kmeans as an `Experiment`,
+demonstrates the JSON round trip (the same file format
+`python -m repro run` executes), runs it with batched dispatches, and
+shows the per-spec results plus the dispatch provenance that proves
+the whole grid ran as one backend fan-out per injection kind.
+
+Run:  python examples/experiment_specs.py
+"""
+
+from repro import (AnalysisSpec, CampaignSpec, Experiment,
+                   ExperimentResult, run_experiment)
+
+
+def main() -> None:
+    exp = Experiment(
+        name="fig5-demo", apps=("kmeans",), seed=20181111,
+        specs=tuple(CampaignSpec(region=region, kind=kind, n=8)
+                    for region in ("k_d", "k_f")
+                    for kind in ("internal", "input"))
+        + (AnalysisSpec(runs_per_kind=1, loop_only=True),))
+
+    # specs are frozen, serializable artifacts: the JSON below is what
+    # `python -m repro run <file>` executes (docs/experiments.md)
+    text = exp.to_json()
+    assert Experiment.from_json(text) == exp
+    print(f"experiment {exp.name!r}: {len(exp.specs)} specs, "
+          f"{len(text)} bytes of JSON\n")
+
+    result = run_experiment(exp)
+
+    print("per-spec results (byte-identical to the legacy one-target "
+          "methods):")
+    for sr in result.spec_results():
+        if sr.campaign is not None:
+            print(f"  [{sr.index}] {sr.label}: "
+                  f"success_rate={sr.campaign.success_rate:.3f}")
+        else:
+            with_patterns = {region: sorted(pats) for region, pats
+                             in sr.patterns.items() if pats}
+            print(f"  [{sr.index}] {sr.label}: {with_patterns}")
+
+    print("\ndispatches (the whole grid, one fan-out per kind):")
+    for d in result.dispatches:
+        print(f"  {d['app']}/{d['mode']}"
+              + (f"/{d['kind']}" if d["kind"] else "")
+              + f": specs {d['specs']} -> {d['plans']} plans, "
+                f"{d['executed']} executed, {d['cached']} cached")
+
+    # the result envelope round-trips too (timings and all)
+    assert ExperimentResult.from_json(result.to_json()).to_json() \
+        == result.to_json()
+    print(f"\nenvelope: {len(result.to_json())} bytes, "
+          f"round-trips exactly; canonical image "
+          f"{len(result.to_json(provenance=False))} bytes "
+          f"(backend-independent)")
+
+
+if __name__ == "__main__":
+    main()

@@ -15,10 +15,25 @@ Quickstart::
     ft = FlipTracker(REGISTRY.build("kmeans"), seed=42)
     print(ft.region_campaign("k_f", "internal", n=30))
 
+Whole sweeps (a Fig. 5 grid, a Table I row set) are declarative
+experiments — one serializable artifact, batched into one engine
+dispatch per injection kind (see :mod:`repro.api` and
+``docs/experiments.md``)::
+
+    from repro import CampaignSpec, Experiment, run_experiment
+    exp = Experiment(name="fig5-mini", apps=("kmeans",), specs=tuple(
+        CampaignSpec(region=r, kind=k, n=30)
+        for r in ("k_d", "k_f") for k in ("internal", "input")))
+    result = run_experiment(exp)          # 2 dispatches, 4 results
+    print(result.campaign("kmeans", 0))
+
 See DESIGN.md for the system inventory and EXPERIMENTS.md for the
 paper-vs-measured record of every table and figure.
 """
 
+from repro.api import (AnalysisSpec, CampaignSpec, Experiment,
+                       ExperimentResult, SpecError, SpecResult,
+                       run_experiment)
 from repro.apps import ALL_APPS, REGISTRY, Program
 from repro.core import FlipTracker, RunAnalysis
 from repro.dddg import DDDG, RegionComparison, build_dddg, to_dot
@@ -27,10 +42,12 @@ from repro.faults import CampaignResult, Manifestation, sample_size
 from repro.patterns import PATTERNS, PatternInstance, compute_rates
 from repro.vm import FaultPlan, Interpreter
 
-__version__ = "1.1.0"
+__version__ = "1.2.0"
 
 __all__ = [
     "ALL_APPS", "REGISTRY", "Program", "FlipTracker", "RunAnalysis",
+    "CampaignSpec", "AnalysisSpec", "Experiment", "ExperimentResult",
+    "SpecResult", "SpecError", "run_experiment",
     "DDDG", "RegionComparison", "build_dddg", "to_dot",
     "ExecutionEngine", "PlanCache", "ProgressEvent",
     "CampaignResult", "Manifestation", "sample_size", "PATTERNS",

@@ -1,0 +1,32 @@
+"""``repro.api``: declarative, serializable experiment specs.
+
+The public spec layer over the imperative pipeline: describe a whole
+figure sweep (Fig. 5's region x kind grid, Fig. 6's iteration grid,
+Table I's traced analyses) as one frozen, JSON-round-trippable
+:class:`Experiment`, execute it with :func:`run_experiment` — which
+batches every campaign spec into **one** engine dispatch per injection
+kind and every analysis spec into one traced dispatch per app — and
+get back a structured, serializable :class:`ExperimentResult`.
+
+The legacy one-target methods (``FlipTracker.region_campaign`` and
+friends) are thin one-spec wrappers over this layer, and the CLI runs
+spec files directly: ``python -m repro run experiment.json --json``.
+See ``docs/experiments.md`` for the schema and batching semantics.
+"""
+
+from repro.api.compile import (aggregate_patterns, compile_analysis,
+                               compile_campaign)
+from repro.api.result import ExperimentResult, SpecResult
+from repro.api.runner import run_experiment
+from repro.api.specs import (SCHEMA_VERSION, AnalysisSpec, CampaignSpec,
+                             Experiment, SpecError, decode_spec,
+                             encode_spec)
+
+__all__ = [
+    "SCHEMA_VERSION", "SpecError",
+    "CampaignSpec", "AnalysisSpec", "Experiment",
+    "SpecResult", "ExperimentResult",
+    "run_experiment",
+    "compile_campaign", "compile_analysis", "aggregate_patterns",
+    "encode_spec", "decode_spec",
+]

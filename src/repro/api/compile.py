@@ -1,0 +1,97 @@
+"""Spec -> plan compilation: expand declarative specs into fault plans.
+
+The compiler is the bridge between the declarative layer and the
+imperative substrate: given a built :class:`~repro.core.FlipTracker`
+and a spec, it produces exactly the ``(label, plans)`` the legacy
+one-target method would have produced — same instance lookup, same
+Leveugle sizing, same seed-keyed sampling streams
+(:meth:`FlipTracker.make_plans` is called with identical arguments) —
+so the spec path and the legacy path are byte-identical by
+construction.  The runner (:mod:`repro.api.runner`) then batches many
+compiled specs into one engine dispatch per injection kind.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from repro.api.specs import (DEFAULT_ITERATION_N, DEFAULT_WHOLE_PROGRAM_N,
+                             AnalysisSpec, CampaignSpec)
+from repro.faults.sites import NoFaultSitesError
+from repro.vm.fault import FaultPlan
+
+__all__ = ["compile_campaign", "compile_analysis", "aggregate_patterns"]
+
+
+def compile_campaign(tracker, spec: CampaignSpec
+                     ) -> tuple[str, list[FaultPlan]]:
+    """Expand one campaign spec against one tracker -> (label, plans).
+
+    Mirrors :meth:`FlipTracker.region_campaign` /
+    :meth:`iteration_campaign` / :meth:`whole_program_campaign` plan
+    construction exactly, including labels and seed offsets.
+    """
+    program = tracker.program.name
+    if spec.target == "region":
+        inst = tracker.instance_of(spec.region, spec.instance_index)
+        count = spec.n if spec.n is not None else \
+            tracker.campaign_size(inst, spec.kind, cap=spec.cap)
+        plans = tracker.make_plans(inst, spec.kind, count)
+        return f"{program}/{spec.region}/{spec.kind}", plans
+    if spec.target == "iteration":
+        iters = tracker.main_loop_iterations()
+        if spec.iteration >= len(iters):
+            raise IndexError(f"main loop has {len(iters)} iterations")
+        inst = iters[spec.iteration]
+        count = spec.n if spec.n is not None else DEFAULT_ITERATION_N
+        plans = tracker.make_plans(inst, spec.kind, count,
+                                   seed_offset=spec.iteration + 1)
+        return f"{program}/iter{spec.iteration}/{spec.kind}", plans
+    # whole_program
+    inst = tracker.whole_program_instance()
+    count = spec.n if spec.n is not None else DEFAULT_WHOLE_PROGRAM_N
+    plans = tracker.make_plans(inst, spec.kind, count)
+    return f"{program}/whole/{spec.kind}", plans
+
+
+def compile_analysis(tracker, spec: AnalysisSpec
+                     ) -> tuple[str, list[FaultPlan], dict[str, set[str]]]:
+    """Expand one analysis spec -> (label, plans, seed pattern table).
+
+    The returned table has one (empty) entry per region instance at
+    ``spec.instance_index`` — the shape
+    :meth:`FlipTracker.region_patterns` reports even for regions that
+    yielded no injectable sites.  Plan collection is the legacy logic
+    verbatim: ``runs_per_kind`` uniform draws per kind per instance
+    (instances whose site populations are empty are skipped, not
+    fatal) plus optional stratified low-bit probes.
+    """
+    found: dict[str, set[str]] = {r.region.name: set()
+                                  for r in tracker.instances()
+                                  if r.index == spec.instance_index}
+    plans: list[FaultPlan] = []
+    for inst in tracker.instances():
+        if inst.index != spec.instance_index:
+            continue
+        if spec.loop_only and inst.region.kind != "loop":
+            continue
+        for kind in ("input", "internal"):
+            try:
+                plans.extend(tracker.make_plans(inst, kind,
+                                                spec.runs_per_kind))
+            except NoFaultSitesError:
+                continue
+        if spec.probe_sites > 0:
+            plans.extend(tracker.probe_plans(inst, bits=spec.probe_bits,
+                                             n_sites=spec.probe_sites))
+    return f"{tracker.program.name}/patterns", plans, found
+
+
+def aggregate_patterns(found: dict[str, set[str]],
+                       tables: Sequence[dict[str, set[str]]]
+                       ) -> dict[str, set[str]]:
+    """Union per-run pattern tables into the per-region sweep table."""
+    for pats_by_region in tables:
+        for region, pats in pats_by_region.items():
+            found.setdefault(region, set()).update(pats)
+    return found

@@ -1,0 +1,150 @@
+"""Experiment execution: compile specs, batch, dispatch once per mode.
+
+:func:`run_experiment` turns an :class:`~repro.api.specs.Experiment`
+into an :class:`~repro.api.result.ExperimentResult` with the minimum
+number of engine fan-outs:
+
+* per app, every campaign spec is compiled to its plans and grouped by
+  injection kind; each kind's groups go through **one**
+  :meth:`~repro.engine.core.ExecutionEngine.run_plan_groups` dispatch
+  (so a whole Fig. 5 grid is one backend fan-out per kind, not one
+  per region);
+* every analysis spec lands in **one**
+  :meth:`~repro.engine.core.ExecutionEngine.analyze_plan_groups`
+  dispatch per app.
+
+Dispatch order is deterministic: apps in ``Experiment.apps`` order;
+within an app, campaign kinds in order of first appearance in
+``specs``, then analyses; within a kind, specs in ``specs`` order.
+Per-spec results are byte-identical to calling the legacy one-target
+methods in that same order on a fresh tracker (the demux contract of
+``run_plan_groups``); the parity suite in
+``tests/test_api_parity.py`` locks this in.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Callable, Optional
+
+from repro.api.compile import (aggregate_patterns, compile_analysis,
+                               compile_campaign)
+from repro.api.result import ExperimentResult, SpecResult
+from repro.api.specs import AnalysisSpec, CampaignSpec, Experiment
+from repro.engine.progress import ProgressCallback
+
+__all__ = ["run_experiment"]
+
+#: builds the per-app tracker; injectable for tests/benchmarks that
+#: hold their own warmed trackers (those are then *not* closed here)
+TrackerFactory = Callable[[str], "object"]
+
+
+def _default_tracker(experiment: Experiment, app: str):
+    from repro.apps import REGISTRY
+    from repro.core import FlipTracker
+    return FlipTracker(REGISTRY.build(app), seed=experiment.seed,
+                       workers=experiment.workers,
+                       cache_dir=experiment.cache_dir,
+                       resume=experiment.resume,
+                       shard_size=experiment.shard_size,
+                       backend=experiment.backend,
+                       backend_addr=experiment.backend_addr)
+
+
+def run_experiment(experiment: Experiment, *,
+                   on_progress: Optional[ProgressCallback] = None,
+                   tracker_factory: Optional[TrackerFactory] = None
+                   ) -> ExperimentResult:
+    """Execute every spec of ``experiment`` with batched dispatches.
+
+    ``tracker_factory`` (app name -> FlipTracker) overrides per-app
+    tracker construction — callers that pass one own the trackers'
+    lifecycles (they are not closed here); by default each app's
+    tracker is built from the experiment's engine config and closed
+    after its dispatches finish.
+    """
+    start = time.perf_counter()
+    results: list[SpecResult] = []
+    dispatches: list[dict] = []
+    for app in experiment.apps:
+        owned = tracker_factory is None
+        tracker = _default_tracker(experiment, app) if owned \
+            else tracker_factory(app)
+        try:
+            _run_app(experiment, app, tracker, results, dispatches,
+                     on_progress)
+        finally:
+            if owned:
+                tracker.close()
+    order = {app: i for i, app in enumerate(experiment.apps)}
+    results.sort(key=lambda r: (order[r.app], r.index))
+    return ExperimentResult(experiment=experiment, results=results,
+                            dispatches=dispatches,
+                            elapsed=time.perf_counter() - start)
+
+
+def _run_app(experiment: Experiment, app: str, tracker,
+             results: list[SpecResult], dispatches: list[dict],
+             on_progress: Optional[ProgressCallback]) -> None:
+    # compile every applicable spec up front; grouping preserves spec
+    # order within each kind (dict insertion order = first appearance)
+    campaign_groups: dict[str, list[tuple[int, str, list]]] = {}
+    analyses: list[tuple[int, str, list, dict]] = []
+    for index, spec in enumerate(experiment.specs):
+        if spec.app is not None and spec.app != app:
+            continue
+        if isinstance(spec, CampaignSpec):
+            label, plans = compile_campaign(tracker, spec)
+            campaign_groups.setdefault(spec.kind, []).append(
+                (index, label, plans))
+        elif isinstance(spec, AnalysisSpec):
+            label, plans, found = compile_analysis(tracker, spec)
+            analyses.append((index, label, plans, found))
+    if not campaign_groups and not analyses:
+        return
+    budget = tracker.faulty_budget
+    engine = tracker.engine
+
+    for kind, entries in campaign_groups.items():
+        t0 = time.perf_counter()
+        before = engine.executed
+        campaign_results = engine.run_plan_groups(
+            [(label, plans) for _index, label, plans in entries],
+            max_instr=budget, on_progress=on_progress)
+        dispatches.append(_provenance(
+            app, "campaign", kind, entries, engine, before, t0))
+        for (index, label, _plans), result in zip(entries,
+                                                  campaign_results):
+            results.append(SpecResult(index=index, app=app, label=label,
+                                      mode="campaign", campaign=result))
+
+    if analyses:
+        t0 = time.perf_counter()
+        before = engine.executed
+        tables = engine.analyze_plan_groups(
+            [(label, plans) for _index, label, plans, _found in analyses],
+            max_instr=budget, on_progress=on_progress)
+        dispatches.append(_provenance(
+            app, "analysis", None,
+            [(i, label, plans) for i, label, plans, _f in analyses],
+            engine, before, t0))
+        for (index, label, _plans, found), per_plan in zip(analyses,
+                                                           tables):
+            table = aggregate_patterns(found, per_plan)
+            results.append(SpecResult(
+                index=index, app=app, label=label, mode="analysis",
+                patterns={region: sorted(pats)
+                          for region, pats in table.items()}))
+
+
+def _provenance(app: str, mode: str, kind: Optional[str], entries,
+                engine, executed_before: int, t0: float) -> dict:
+    total = sum(len(plans) for _index, _label, plans in entries)
+    executed = engine.executed - executed_before
+    return {"app": app, "mode": mode, "kind": kind,
+            "specs": [index for index, _label, _plans in entries],
+            "plans": total, "executed": executed,
+            "cached": total - executed,
+            "backend": engine.backend.name,
+            "seconds": round(time.perf_counter() - t0, 6)}

@@ -1,0 +1,273 @@
+"""Declarative experiment specs: frozen, JSON-round-trippable targets.
+
+The paper's results are *sweeps* — Fig. 5 is a grid of (region x kind)
+campaigns, Fig. 6 a grid over main-loop iterations, Table I a sweep of
+traced analyses.  A spec names one cell of such a grid declaratively;
+an :class:`Experiment` bundles many specs over one or many apps plus
+everything needed to reproduce them (name, seed, backend config), so a
+whole figure is a single serializable artifact instead of a script.
+
+Three spec kinds:
+
+:class:`CampaignSpec`
+    One untraced success-rate campaign: a target
+    (``region``/``iteration``/``whole_program``), an injection kind
+    (``input``/``internal``) and a count (``n``; ``None`` selects the
+    target's legacy default — Leveugle auto-sizing for regions).
+:class:`AnalysisSpec`
+    One traced pattern sweep over every region instance (a Table I
+    row), mirroring :meth:`~repro.core.FlipTracker.region_patterns`.
+:class:`Experiment`
+    ``specs`` over ``apps``, plus seed and engine/backend settings.
+
+All spec dataclasses are frozen and compare by value;
+``Experiment.from_json(e.to_json()) == e`` holds exactly.  Decoding is
+strict: unknown fields are rejected (a typo must not silently change
+an experiment) and ``schema_version`` is required and checked against
+:data:`SCHEMA_VERSION`.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import asdict, dataclass, fields
+from typing import Optional, Union
+
+#: bump when the spec JSON encoding changes incompatibly
+SCHEMA_VERSION = 1
+
+CAMPAIGN_TARGETS = ("region", "iteration", "whole_program")
+INJECTION_KINDS = ("input", "internal")
+
+#: legacy default injection counts when ``n`` is omitted (``None``);
+#: region targets auto-size via Leveugle instead (Section IV-C)
+DEFAULT_ITERATION_N = 50
+DEFAULT_WHOLE_PROGRAM_N = 100
+
+
+class SpecError(ValueError):
+    """A spec failed validation or could not be decoded."""
+
+
+@dataclass(frozen=True)
+class CampaignSpec:
+    """One declarative success-rate campaign (a Fig. 5/6 grid cell).
+
+    Attributes
+    ----------
+    target:
+        ``"region"`` (Fig. 5), ``"iteration"`` (Fig. 6) or
+        ``"whole_program"`` (Tables III/IV).
+    kind:
+        ``"input"`` or ``"internal"`` injection locations.
+    region / instance_index:
+        Region-target coordinates (``region`` is required for the
+        ``region`` target and meaningless otherwise).
+    iteration:
+        Main-loop iteration index (required for ``iteration`` targets).
+    n:
+        Injection count; ``None`` means the target's legacy default —
+        Leveugle auto-sizing for regions, ``50`` per iteration,
+        ``100`` whole-program.
+    cap:
+        Upper bound applied to Leveugle auto-sizing.
+    app:
+        Restrict this spec to one of the experiment's apps
+        (``None`` = applies to every app).
+    """
+
+    target: str = "region"
+    kind: str = "internal"
+    region: Optional[str] = None
+    instance_index: int = 0
+    iteration: Optional[int] = None
+    n: Optional[int] = None
+    cap: Optional[int] = None
+    app: Optional[str] = None
+
+    def __post_init__(self) -> None:
+        if self.target not in CAMPAIGN_TARGETS:
+            raise SpecError(f"campaign target must be one of "
+                            f"{CAMPAIGN_TARGETS}, got {self.target!r}")
+        if self.kind not in INJECTION_KINDS:
+            raise SpecError(f"campaign kind must be one of "
+                            f"{INJECTION_KINDS}, got {self.kind!r}")
+        if self.target == "region" and not self.region:
+            raise SpecError("region-target campaign needs a region name")
+        if self.target == "iteration" and (self.iteration is None
+                                           or self.iteration < 0):
+            raise SpecError("iteration-target campaign needs "
+                            "iteration >= 0")
+        if self.n is not None and self.n < 0:
+            raise SpecError(f"n must be >= 0, got {self.n}")
+        if self.cap is not None and self.cap < 1:
+            raise SpecError(f"cap must be >= 1, got {self.cap}")
+        if self.instance_index < 0:
+            raise SpecError("instance_index must be >= 0")
+
+
+@dataclass(frozen=True)
+class AnalysisSpec:
+    """One declarative traced pattern sweep (a Table I row).
+
+    Field-for-field mirror of
+    :meth:`~repro.core.FlipTracker.region_patterns`; ``app`` restricts
+    the spec to one of the experiment's apps (``None`` = all).
+    """
+
+    runs_per_kind: int = 3
+    instance_index: int = 0
+    loop_only: bool = False
+    probe_sites: int = 0
+    probe_bits: Optional[tuple[int, ...]] = None
+    app: Optional[str] = None
+
+    def __post_init__(self) -> None:
+        if self.runs_per_kind < 0:
+            raise SpecError("runs_per_kind must be >= 0")
+        if self.probe_sites < 0:
+            raise SpecError("probe_sites must be >= 0")
+        if self.instance_index < 0:
+            raise SpecError("instance_index must be >= 0")
+        if self.probe_bits is not None:
+            object.__setattr__(self, "probe_bits",
+                               tuple(int(b) for b in self.probe_bits))
+
+
+Spec = Union[CampaignSpec, AnalysisSpec]
+
+#: JSON ``type`` discriminator <-> spec class
+SPEC_TYPES = {"campaign": CampaignSpec, "analysis": AnalysisSpec}
+
+
+@dataclass(frozen=True)
+class Experiment:
+    """A named, reproducible bundle of specs over one or many apps.
+
+    ``specs`` apply to every app in ``apps`` (unless a spec pins its
+    own ``app``); ``seed`` feeds the same deterministic site-sampling
+    streams the legacy one-target methods use, so the spec path and
+    the imperative path draw byte-identical plans.  The remaining
+    fields configure the per-app :class:`~repro.core.FlipTracker`
+    (workers, cache spill, shard size, backend) — see
+    :mod:`repro.engine.backends` for backend semantics.
+    """
+
+    name: str
+    apps: tuple[str, ...] = ()
+    specs: tuple[Spec, ...] = ()
+    seed: int = 20181111
+    workers: int = 1
+    backend: Optional[str] = None
+    backend_addr: Optional[str] = None
+    cache_dir: Optional[str] = None
+    resume: bool = True
+    shard_size: int = 64
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise SpecError("experiment needs a non-empty name")
+        object.__setattr__(self, "apps", tuple(self.apps))
+        object.__setattr__(self, "specs", tuple(self.specs))
+        if not self.apps:
+            raise SpecError("experiment needs at least one app")
+        if not self.specs:
+            raise SpecError("experiment needs at least one spec")
+        for spec in self.specs:
+            if not isinstance(spec, (CampaignSpec, AnalysisSpec)):
+                raise SpecError(f"specs must be CampaignSpec or "
+                                f"AnalysisSpec, got {type(spec).__name__}")
+            if spec.app is not None and spec.app not in self.apps:
+                raise SpecError(f"spec pins app {spec.app!r} which is "
+                                f"not in apps {self.apps}")
+        if self.workers < 1:
+            raise SpecError("workers must be >= 1")
+        if self.shard_size < 1:
+            raise SpecError("shard_size must be >= 1")
+        if self.backend is not None:
+            from repro.engine.backends import BACKENDS
+            if self.backend not in BACKENDS:
+                raise SpecError(f"unknown backend {self.backend!r}; "
+                                f"expected one of {sorted(BACKENDS)}")
+
+    # ------------------------------------------------------------ JSON
+    def to_dict(self) -> dict:
+        """JSON-safe dict image (canonical; tuples become lists)."""
+        payload = {"schema_version": SCHEMA_VERSION,
+                   "name": self.name, "apps": list(self.apps),
+                   "specs": [encode_spec(s) for s in self.specs],
+                   "seed": self.seed, "workers": self.workers,
+                   "backend": self.backend,
+                   "backend_addr": self.backend_addr,
+                   "cache_dir": self.cache_dir, "resume": self.resume,
+                   "shard_size": self.shard_size}
+        return payload
+
+    def to_json(self, indent: Optional[int] = 2) -> str:
+        return json.dumps(self.to_dict(), indent=indent, sort_keys=True)
+
+    @staticmethod
+    def from_dict(payload: dict) -> "Experiment":
+        if not isinstance(payload, dict):
+            raise SpecError(f"experiment payload must be an object, "
+                            f"got {type(payload).__name__}")
+        version = payload.get("schema_version")
+        if version is None:
+            raise SpecError("experiment payload lacks schema_version")
+        if version != SCHEMA_VERSION:
+            raise SpecError(f"unsupported schema_version {version!r} "
+                            f"(this build speaks {SCHEMA_VERSION})")
+        known = {f.name for f in fields(Experiment)} | {"schema_version"}
+        unknown = sorted(set(payload) - known)
+        if unknown:
+            raise SpecError(f"unknown experiment field(s): "
+                            f"{', '.join(unknown)}")
+        kwargs = {k: v for k, v in payload.items()
+                  if k != "schema_version"}
+        kwargs["specs"] = tuple(decode_spec(s)
+                                for s in kwargs.get("specs", ()))
+        try:
+            return Experiment(**kwargs)
+        except TypeError as exc:
+            raise SpecError(f"bad experiment payload: {exc}") from None
+
+    @staticmethod
+    def from_json(text: str) -> "Experiment":
+        try:
+            payload = json.loads(text)
+        except json.JSONDecodeError as exc:
+            raise SpecError(f"spec is not valid JSON: {exc}") from None
+        return Experiment.from_dict(payload)
+
+
+def encode_spec(spec: Spec) -> dict:
+    """Canonical JSON-safe image of one spec (with ``type`` tag)."""
+    for tag, cls in SPEC_TYPES.items():
+        if isinstance(spec, cls):
+            payload = {"type": tag}
+            payload.update(asdict(spec))
+            if payload.get("probe_bits") is not None:
+                payload["probe_bits"] = list(payload["probe_bits"])
+            return payload
+    raise SpecError(f"cannot encode spec of type {type(spec).__name__}")
+
+
+def decode_spec(payload: dict) -> Spec:
+    """Inverse of :func:`encode_spec`; strict about unknown fields."""
+    if not isinstance(payload, dict):
+        raise SpecError(f"spec entries must be objects, "
+                        f"got {type(payload).__name__}")
+    tag = payload.get("type")
+    if tag not in SPEC_TYPES:
+        raise SpecError(f"spec type must be one of "
+                        f"{sorted(SPEC_TYPES)}, got {tag!r}")
+    cls = SPEC_TYPES[tag]
+    known = {f.name for f in fields(cls)}
+    unknown = sorted(set(payload) - known - {"type"})
+    if unknown:
+        raise SpecError(f"unknown {tag}-spec field(s): "
+                        f"{', '.join(unknown)}")
+    kwargs = {k: v for k, v in payload.items() if k != "type"}
+    if kwargs.get("probe_bits") is not None:
+        kwargs["probe_bits"] = tuple(kwargs["probe_bits"])
+    return cls(**kwargs)

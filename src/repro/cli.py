@@ -17,6 +17,9 @@ Exposes the FlipTracker pipeline for interactive exploration:
 ``sample``     Leveugle sample-size calculator (Section IV-C)
 ``serve``      run a TCP shard server for ``--backend socket`` clients
                (campaign ``RUN`` and traced ``ANALYZE`` jobs alike)
+``run``        execute a declarative experiment spec file (JSON; see
+               ``docs/experiments.md``) with batched dispatches over
+               any ``--backend``; ``--json`` emits the result envelope
 =============  =============================================================
 
 Every command is deterministic under ``--seed``.  The engine flags
@@ -224,6 +227,79 @@ def cmd_sample(args) -> int:
     return 0
 
 
+def cmd_run(args) -> int:
+    from repro.api import Experiment, SpecError, run_experiment
+    from repro.faults.sites import NoFaultSitesError
+    try:
+        with open(args.spec) as fh:
+            experiment = Experiment.from_json(fh.read())
+    except OSError as exc:
+        print(f"cannot read spec: {exc}", file=sys.stderr)
+        return 1
+    except SpecError as exc:
+        print(f"bad spec: {exc}", file=sys.stderr)
+        return 1
+    experiment = _apply_engine_overrides(experiment, args)
+    unknown = sorted(set(experiment.apps) - set(ALL_APPS))
+    if unknown:
+        print(f"bad spec: unknown app(s) {', '.join(unknown)} "
+              f"(see 'repro apps')", file=sys.stderr)
+        return 1
+    on_progress = None
+    if args.progress:
+        def on_progress(event):  # noqa: E306 - tiny local callback
+            print(f"  {event}", file=sys.stderr)
+    try:
+        result = run_experiment(experiment, on_progress=on_progress)
+    except (KeyError, IndexError) as exc:
+        # bad target coordinates (region name, instance, iteration)
+        # surfaced by spec compilation — a spec problem, not a crash
+        print(f"bad spec target: {exc}", file=sys.stderr)
+        return 1
+    except NoFaultSitesError as exc:
+        print(f"no injectable sites: {exc}", file=sys.stderr)
+        return 1
+    if args.json:
+        print(result.to_json(indent=2, provenance=not args.canonical))
+        return 0
+    rows = []
+    for sr in result.spec_results():
+        if sr.campaign is not None:
+            summary = (f"sr={sr.campaign.success_rate:.3f} "
+                       f"(ok={sr.campaign.success} "
+                       f"sdc={sr.campaign.failed} "
+                       f"crash={sr.campaign.crashed})")
+        else:
+            regions = sum(1 for pats in sr.patterns.values() if pats)
+            summary = f"patterns in {regions}/{len(sr.patterns)} regions"
+        rows.append([sr.app, sr.index, sr.mode, sr.label, summary])
+    print(format_table(["App", "Spec", "Mode", "Label", "Result"], rows,
+                       title=f"experiment {experiment.name!r}"))
+    print(f"{len(result.dispatches)} dispatches, "
+          f"{result.executed} executed, {result.cached} cached, "
+          f"{result.elapsed:.2f}s "
+          f"(backend={experiment.backend or 'local'})")
+    return 0
+
+
+def _apply_engine_overrides(experiment, args):
+    """Fold explicitly-set global engine flags into a spec'd experiment.
+
+    A flag the user did not pass (parser default ``None``) defers to
+    the experiment's own value — the spec is the artifact of record;
+    anything set on the command line wins, even when it equals the
+    built-in default (``--backend local`` forces local execution over
+    a spec that says ``socket``).  One spec file thus runs on any
+    ``--backend``/``--workers`` without editing.
+    """
+    import dataclasses
+    overrides = {name: getattr(args, name)
+                 for name in ENGINE_FLAG_DEFAULTS
+                 if getattr(args, name) is not None}
+    return dataclasses.replace(experiment, **overrides) if overrides \
+        else experiment
+
+
 def cmd_serve(args) -> int:
     from repro.engine.backends import ShardServer
     program = REGISTRY.build(args.app)
@@ -247,28 +323,41 @@ def _positive_int(text: str) -> int:
     return value
 
 
+#: global engine-flag defaults.  The parser leaves these flags at
+#: ``None`` so ``run`` can tell "explicitly set" from "defaulted"
+#: (a spec file's own values win only in the latter case);
+#: :func:`main` fills them in for every other command.
+ENGINE_FLAG_DEFAULTS = {"seed": 20181111, "workers": 1,
+                        "cache_dir": None, "resume": False,
+                        "shard_size": 64, "backend": "local",
+                        "backend_addr": None}
+
+
 def build_parser() -> argparse.ArgumentParser:
     p = argparse.ArgumentParser(
         prog="repro",
         description="FlipTracker (SC'18) reproduction toolkit")
-    p.add_argument("--seed", type=int, default=20181111)
-    p.add_argument("--workers", type=int, default=1,
-                   help="engine worker processes (1 = sequential)")
+    p.add_argument("--seed", type=int, default=None)
+    p.add_argument("--workers", type=int, default=None,
+                   help="engine worker processes (default 1 = sequential)")
     p.add_argument("--cache-dir", default=None,
                    help="spill the engine's plan-result cache to this "
                         "directory (JSON lines; doubles as a campaign "
                         "checkpoint)")
-    p.add_argument("--resume", action="store_true",
+    p.add_argument("--resume", action="store_const", const=True,
+                   default=None,
                    help="reuse results already recorded in --cache-dir: "
                         "previously executed injections are skipped")
-    p.add_argument("--shard-size", type=_positive_int, default=64,
-                   help="campaign checkpoint/progress granularity")
+    p.add_argument("--shard-size", type=_positive_int, default=None,
+                   help="campaign checkpoint/progress granularity "
+                        "(default 64)")
     p.add_argument("--backend", choices=("local", "async", "socket"),
-                   default="local",
+                   default=None,
                    help="shard-execution backend for campaigns and "
-                        "traced analyses: in-host pool, asyncio worker "
-                        "fan-out, or remote TCP shard servers "
-                        "(byte-identical results either way)")
+                        "traced analyses: in-host pool (local, the "
+                        "default), asyncio worker fan-out, or remote "
+                        "TCP shard servers (byte-identical results "
+                        "either way)")
     p.add_argument("--backend-addr", default=None, metavar="HOST:PORT[,..]",
                    help="shard server address(es) for --backend socket "
                         "(default 127.0.0.1:7453; start one with "
@@ -346,6 +435,20 @@ def build_parser() -> argparse.ArgumentParser:
     sp.add_argument("--port", type=int, default=7453,
                     help="listen port (0 = ephemeral, printed on start)")
 
+    sp = sub.add_parser(
+        "run", help="execute a declarative experiment spec (JSON)")
+    sp.add_argument("spec", help="path to an Experiment JSON file "
+                                 "(schema: docs/experiments.md)")
+    sp.add_argument("--json", action="store_true",
+                    help="emit the full ExperimentResult envelope as "
+                         "JSON instead of a summary table")
+    sp.add_argument("--canonical", action="store_true",
+                    help="with --json: strip timings/backend provenance "
+                         "so the output is byte-identical across "
+                         "backends and worker counts (golden-file mode)")
+    sp.add_argument("--progress", action="store_true",
+                    help="stream per-shard progress to stderr")
+
     return p
 
 
@@ -354,12 +457,18 @@ _HANDLERS = {
     "io": cmd_io, "inject": cmd_inject, "acl": cmd_acl,
     "campaign": cmd_campaign, "patterns": cmd_patterns,
     "rates": cmd_rates, "dot": cmd_dot,
-    "sample": cmd_sample, "serve": cmd_serve,
+    "sample": cmd_sample, "serve": cmd_serve, "run": cmd_run,
 }
 
 
 def main(argv: Optional[Sequence[str]] = None) -> int:
     args = build_parser().parse_args(argv)
+    if args.command != "run":
+        # every other command takes the engine flags directly; "run"
+        # resolves them against the spec file (_apply_engine_overrides)
+        for name, default in ENGINE_FLAG_DEFAULTS.items():
+            if getattr(args, name) is None:
+                setattr(args, name, default)
     return _HANDLERS[args.command](args)
 
 

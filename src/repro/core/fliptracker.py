@@ -19,20 +19,26 @@ from dataclasses import dataclass, field
 from typing import Optional, Sequence
 
 from repro.acl.table import ACLResult, build_acl
+from repro.api.compile import (aggregate_patterns, compile_analysis,
+                               compile_campaign)
+from repro.api.specs import AnalysisSpec, CampaignSpec
 from repro.apps.base import Program
+from repro.dddg.compare import compare_run
 from repro.engine import ExecutionEngine
 from repro.engine.progress import ProgressCallback
 from repro.faults.campaign import (CampaignResult, Manifestation,
                                    classify_check)
-from repro.faults.sites import (NoFaultSitesError, input_site_population,
+from repro.faults.sites import (PROBE_BITS, NoFaultSitesError,
+                                input_site_population,
                                 internal_site_population, sample_input_plan,
                                 sample_internal_plan, stratified_probe_plans)
 from repro.faults.statistics import sample_size
 from repro.patterns.base import PatternInstance
 from repro.patterns.detect import detect_all
 from repro.patterns.rates import PatternRates, compute_rates
-from repro.regions.model import (RegionInstance, RegionModel, detect_regions,
-                                 main_loop_iterations, split_instances)
+from repro.regions.model import (CodeRegion, RegionInstance, RegionModel,
+                                 detect_regions, main_loop_iterations,
+                                 split_instances)
 from repro.regions.variables import RegionIO, classify_io
 from repro.trace.events import Trace, TraceMeta
 from repro.trace.index import TraceIndex
@@ -128,10 +134,20 @@ class FlipTracker:
         return self._engine
 
     def close(self) -> None:
-        """Shut down the engine (worker pool + cache spill handle)."""
-        if self._engine is not None:
-            self._engine.close()
-            self._engine = None
+        """Shut down the engine (worker pool + cache spill handle).
+
+        Safe to re-enter: closing twice is a no-op, and a closed
+        tracker lazily rebuilds a fresh engine on its next campaign or
+        analysis (the :attr:`engine` property), so ``close()`` marks a
+        quiet point — releasing pools, sockets and the spill handle —
+        rather than ending the tracker's life.  The engine reference
+        is dropped *before* shutdown so a failed-shard
+        :class:`~repro.engine.EngineError` raised by
+        ``ExecutionEngine.close()`` still leaves the tracker reusable.
+        """
+        engine, self._engine = self._engine, None
+        if engine is not None:
+            engine.close()
 
     def __enter__(self) -> "FlipTracker":
         return self
@@ -203,7 +219,6 @@ class FlipTracker:
         Table III and Table IV's measured SR column), where the paper
         injects uniformly over the application rather than per region.
         """
-        from repro.regions.model import CodeRegion
         trace = self.fault_free_trace()
         region = CodeRegion(-2, "whole_program", "straight",
                             self.program.entry, frozenset(), 0, 0)
@@ -213,12 +228,22 @@ class FlipTracker:
                                n: int = 100,
                                on_progress: Optional[ProgressCallback] = None
                                ) -> CampaignResult:
-        """Success rate over uniform whole-application injections."""
-        inst = self.whole_program_instance()
-        plans = self.make_plans(inst, kind, n)
+        """Success rate over uniform whole-application injections.
+
+        One-spec wrapper over the declarative layer (see
+        :mod:`repro.api`); batch whole sweeps with an
+        :class:`~repro.api.Experiment` instead of looping this.
+        """
+        spec = CampaignSpec(target="whole_program", kind=kind, n=n)
+        return self._run_campaign_spec(spec, on_progress)
+
+    def _run_campaign_spec(self, spec: CampaignSpec,
+                           on_progress: Optional[ProgressCallback]
+                           ) -> CampaignResult:
+        """Compile one campaign spec and dispatch it through the engine."""
+        label, plans = compile_campaign(self, spec)
         return self.engine.run_plans(
-            plans, max_instr=self.faulty_budget,
-            label=f"{self.program.name}/whole/{kind}",
+            plans, max_instr=self.faulty_budget, label=label,
             on_progress=on_progress)
 
     # ------------------------------------------------------------ planning
@@ -289,30 +314,27 @@ class FlipTracker:
                         cap: Optional[int] = None,
                         on_progress: Optional[ProgressCallback] = None
                         ) -> CampaignResult:
-        """Success rate for one region instance (Fig. 5 data points)."""
-        inst = self.instance_of(region_name, instance_index)
-        count = n if n is not None else self.campaign_size(inst, kind,
-                                                           cap=cap)
-        plans = self.make_plans(inst, kind, count)
-        return self.engine.run_plans(
-            plans, max_instr=self.faulty_budget,
-            label=f"{self.program.name}/{region_name}/{kind}",
-            on_progress=on_progress)
+        """Success rate for one region instance (Fig. 5 data points).
+
+        One-spec wrapper over :mod:`repro.api` — byte-identical to a
+        :class:`~repro.api.CampaignSpec` in an experiment (the parity
+        suite locks this in).
+        """
+        spec = CampaignSpec(target="region", kind=kind, region=region_name,
+                            instance_index=instance_index, n=n, cap=cap)
+        return self._run_campaign_spec(spec, on_progress)
 
     def iteration_campaign(self, iteration: int, kind: str,
                            n: int = 50,
                            on_progress: Optional[ProgressCallback] = None
                            ) -> CampaignResult:
-        """Success rate for one main-loop iteration (Fig. 6 data points)."""
-        iters = self.main_loop_iterations()
-        if iteration >= len(iters):
-            raise IndexError(f"main loop has {len(iters)} iterations")
-        inst = iters[iteration]
-        plans = self.make_plans(inst, kind, n, seed_offset=iteration + 1)
-        return self.engine.run_plans(
-            plans, max_instr=self.faulty_budget,
-            label=f"{self.program.name}/iter{iteration}/{kind}",
-            on_progress=on_progress)
+        """Success rate for one main-loop iteration (Fig. 6 data points).
+
+        One-spec wrapper over :mod:`repro.api` (``target="iteration"``).
+        """
+        spec = CampaignSpec(target="iteration", kind=kind,
+                            iteration=iteration, n=n)
+        return self._run_campaign_spec(spec, on_progress)
 
     # ------------------------------------------------------------ analysis
     def analyze_injection(self, plan: FaultPlan) -> RunAnalysis:
@@ -357,7 +379,6 @@ class FlipTracker:
         the low-bit behaviours (shift/truncation/conditional masking)
         that uniform sampling misses at small campaign sizes.
         """
-        from repro.faults.sites import PROBE_BITS
         io = self.io(instance)
         pairs = stratified_probe_plans(self.fault_free_trace().records, io,
                                        self.program.module,
@@ -396,30 +417,19 @@ class FlipTracker:
         way.  Regions whose site populations are empty (a straight
         region with no internal defs, say) are skipped rather than
         failing the whole sweep.
+
+        One-spec wrapper over :mod:`repro.api` — an
+        :class:`~repro.api.AnalysisSpec` in an experiment produces the
+        identical table, batched with every other analysis of the app.
         """
-        found: dict[str, set[str]] = {r.region.name: set()
-                                      for r in self.instances()
-                                      if r.index == instance_index}
-        plans: list[FaultPlan] = []
-        for inst in self.instances():
-            if inst.index != instance_index:
-                continue
-            if loop_only and inst.region.kind != "loop":
-                continue
-            for kind in ("input", "internal"):
-                try:
-                    plans.extend(self.make_plans(inst, kind,
-                                                 runs_per_kind))
-                except NoFaultSitesError:
-                    continue
-            if probe_sites > 0:
-                plans.extend(self.probe_plans(inst, bits=probe_bits,
-                                              n_sites=probe_sites))
-        for pats_by_region in self._analyze_many(plans,
-                                                 on_progress=on_progress):
-            for region, pats in pats_by_region.items():
-                found.setdefault(region, set()).update(pats)
-        return found
+        spec = AnalysisSpec(
+            runs_per_kind=runs_per_kind, instance_index=instance_index,
+            loop_only=loop_only, probe_sites=probe_sites,
+            probe_bits=tuple(probe_bits) if probe_bits is not None
+            else None)
+        _label, plans, found = compile_analysis(self, spec)
+        return aggregate_patterns(
+            found, self._analyze_many(plans, on_progress=on_progress))
 
     def _analyze_many(self, plans: Sequence[FaultPlan],
                       on_progress: Optional[ProgressCallback] = None
@@ -438,7 +448,6 @@ class FlipTracker:
         instances masked the corruption (Case 1), which diminished its
         magnitude (Case 2), and where control flow diverged.
         """
-        from repro.dddg.compare import compare_run
         if analysis.faulty is None:
             raise ValueError("analysis carries no faulty trace")
         return compare_run(self.fault_free_trace().records,

@@ -49,6 +49,21 @@ def table1_for_program(ft: FlipTracker, runs_per_kind: int = 2,
                                loop_only=loop_regions_only,
                                probe_sites=probe_sites,
                                probe_bits=probe_bits)
+    return table1_from_patterns(ft, found,
+                                loop_regions_only=loop_regions_only)
+
+
+def table1_from_patterns(ft: FlipTracker, found: dict[str, set[str]],
+                         loop_regions_only: bool = True
+                         ) -> list[Table1Row]:
+    """Table I rows from an already-computed pattern table.
+
+    ``found`` is the region -> patterns mapping produced by
+    :meth:`FlipTracker.region_patterns` or by an
+    :class:`~repro.api.AnalysisSpec` result
+    (``ExperimentResult.patterns``), letting batched experiment sweeps
+    render the same rows without re-analyzing.
+    """
     rows: list[Table1Row] = []
     for inst in ft.instances():
         if inst.index != 0:

@@ -174,58 +174,137 @@ class ExecutionEngine:
         call), ``cached`` (plans served without execution: cache hits
         plus within-call duplicates of an executed plan), ``shards``
         and ``backend``; ``executed + cached == total`` always.
+
+        One-group wrapper around :meth:`run_plan_groups`, which is the
+        batching seam the declarative :mod:`repro.api` layer dispatches
+        whole figure sweeps through.
+        """
+        return self.run_plan_groups([(label, plans)], max_instr=max_instr,
+                                    on_progress=on_progress,
+                                    use_cache=use_cache)[0]
+
+    def run_plan_groups(self, groups, *,
+                        max_instr: Optional[int] = None,
+                        on_progress: Optional[ProgressCallback] = None,
+                        use_cache: bool = True):
+        """Execute many labeled plan groups in **one** backend dispatch.
+
+        ``groups`` is a sequence of ``(label, plans)`` pairs; the return
+        value is one :class:`~repro.faults.campaign.CampaignResult` per
+        group, in group order.  The whole batch fans out through a
+        single :meth:`Backend.run_shards` call, so the async/socket
+        substrates overlap shards *across* groups instead of placing a
+        barrier between consecutive campaigns.
+
+        Demux contract (what makes the batch path byte-identical to
+        calling :meth:`run_plans` once per group, in group order, on
+        this same engine): each group is sharded separately in plan
+        order, a key already pending in an *earlier* group is served to
+        later groups as an alias — exactly the cache hit a sequential
+        caller would have observed — and each group's ``details``
+        record the accounting of its equivalent standalone call
+        (``executed``/``cached``/``shards``/``total``/``backend``).
+        With ``use_cache=False`` cross-group aliasing is disabled
+        (sequential calls would re-execute), matching legacy semantics.
         """
         from repro.faults.campaign import CampaignResult, Manifestation
         self._check_open()
-        plans = list(plans)
-        keys = [plan_key(self.program_fp, p, max_instr) for p in plans]
-        outcomes: list[Optional[str]] = [
-            self.cache.get(k) if use_cache else None for k in keys]
+        groups = [(label, list(plans)) for label, plans in groups]
+        group_keys: list[list[str]] = []
+        outcomes: list[list[Optional[str]]] = []
+        # alias map: one execution per unique pending key serves every
+        # position waiting on it (across groups when the cache is on)
+        waiting: dict = {}
+        owner: dict = {}
+        for g_i, (_label, plans) in enumerate(groups):
+            keys = [plan_key(self.program_fp, p, max_instr) for p in plans]
+            group_keys.append(keys)
+            values = [self.cache.get(k) if use_cache else None
+                      for k in keys]
+            outcomes.append(values)
+            for i, value in enumerate(values):
+                if value is not None:
+                    continue
+                akey = keys[i] if use_cache else (g_i, keys[i])
+                waiting.setdefault(akey, []).append((g_i, i))
+                owner.setdefault(akey, (g_i, i))
 
-        # one execution per unique pending key; duplicates are aliased
-        pending: dict[str, list[int]] = {}
-        for i, value in enumerate(outcomes):
-            if value is None:
-                pending.setdefault(keys[i], []).append(i)
-        unique = sorted(indices[0] for indices in pending.values())
+        unique, shards, group_shard_base, group_shards, shard_plans = \
+            self._shard_groups(groups, owner)
 
-        total = len(plans)
-        cache_hits = total - sum(len(ix) for ix in pending.values())
-        # within-call duplicates are served without execution too, so
-        # executed + cached always sums to total
-        cached = total - len(unique)
-        shards = [unique[s:s + self.shard_size]
-                  for s in range(0, len(unique), self.shard_size)]
-        done = cache_hits
-        shard_plans = [[plans[i] for i in shard] for shard in shards]
+        totals = [len(plans) for _label, plans in groups]
+        cached = [totals[g_i] - len(unique[g_i])
+                  for g_i in range(len(groups))]
+        done = [sum(1 for v in values if v is not None)
+                for values in outcomes]
         for s_i, values in self.backend.run_shards(shard_plans, max_instr):
-            shard = shards[s_i]
-            for i, value in zip(shard, values):
-                for alias in pending[keys[i]]:
-                    outcomes[alias] = value
-                self.cache.put(keys[i], value,
+            g_i, indices = shards[s_i]
+            label, plans = groups[g_i]
+            for i, value in zip(indices, values):
+                akey = group_keys[g_i][i] if use_cache \
+                    else (g_i, group_keys[g_i][i])
+                for a_g, a_i in waiting[akey]:
+                    outcomes[a_g][a_i] = value
+                    done[a_g] += 1
+                self.cache.put(group_keys[g_i][i], value,
                                meta={"plan": encode_plan(plans[i]),
                                      "label": label})
-                done += len(pending[keys[i]])
-            self.executed += len(shard)
+            self.executed += len(indices)
             if on_progress is not None:
-                on_progress(ProgressEvent(label=label, phase="campaign",
-                                          done=done, total=total,
-                                          cached=cached, shard=s_i + 1,
-                                          shards=len(shards)))
-        if not shards and on_progress is not None:
-            on_progress(ProgressEvent(label=label, phase="campaign",
-                                      done=total, total=total,
-                                      cached=cached, shard=0, shards=0))
+                on_progress(ProgressEvent(
+                    label=label, phase="campaign", done=done[g_i],
+                    total=totals[g_i], cached=cached[g_i],
+                    shard=s_i - group_shard_base[g_i] + 1,
+                    shards=group_shards[g_i]))
+        if on_progress is not None:
+            for g_i, (label, _plans) in enumerate(groups):
+                if group_shards[g_i] == 0:
+                    on_progress(ProgressEvent(
+                        label=label, phase="campaign", done=totals[g_i],
+                        total=totals[g_i], cached=cached[g_i],
+                        shard=0, shards=0))
         self.cache.flush()
 
-        result = CampaignResult(label=label)
-        for value in outcomes:
-            result.add(Manifestation(value))
-        result.details.update(executed=len(unique), cached=cached,
-                              shards=len(shards), total=total,
-                              backend=self.backend.name)
-        return result
+        results = []
+        for g_i, (label, _plans) in enumerate(groups):
+            result = CampaignResult(label=label)
+            for value in outcomes[g_i]:
+                result.add(Manifestation(value))
+            result.details.update(executed=len(unique[g_i]),
+                                  cached=cached[g_i],
+                                  shards=group_shards[g_i],
+                                  total=totals[g_i],
+                                  backend=self.backend.name)
+            results.append(result)
+        return results
+
+    def _shard_groups(self, groups, owner):
+        """Shared batch layout for both plan-group demux loops.
+
+        ``owner`` maps each alias key to its first pending position
+        ``(group, index)``.  Each group's owned positions are sharded
+        *separately* in plan order (legacy shard boundaries — per-group
+        accounting stays byte-identical to standalone calls), then the
+        shard lists are flattened for one backend dispatch.  Returns
+        ``(unique, shards, group_shard_base, group_shards,
+        shard_plans)``.
+        """
+        unique: list[list[int]] = [[] for _ in groups]
+        for g_i, i in owner.values():
+            unique[g_i].append(i)
+        for indices in unique:
+            indices.sort()
+        shards: list[tuple[int, list[int]]] = []
+        group_shard_base: list[int] = []
+        group_shards: list[int] = []
+        for g_i, indices in enumerate(unique):
+            group_shard_base.append(len(shards))
+            for s in range(0, len(indices), self.shard_size):
+                shards.append((g_i, indices[s:s + self.shard_size]))
+            group_shards.append(len(shards) - group_shard_base[g_i])
+        shard_plans = [[groups[g_i][1][i] for i in indices]
+                       for g_i, indices in shards]
+        return unique, shards, group_shard_base, group_shards, shard_plans
 
     # ------------------------------------------------------------ analyses
     def analyze_plans(self, plans: Sequence[FaultPlan], *,
@@ -247,41 +326,74 @@ class ExecutionEngine:
         campaign over the same plans is free.  Unlike campaigns, the
         pattern tables themselves are not cache-served: every call
         re-analyzes (deterministically).
+
+        One-group wrapper around :meth:`analyze_plan_groups` (the
+        batching seam used by :mod:`repro.api`).
+        """
+        return self.analyze_plan_groups(
+            [("analysis", plans)], max_instr=max_instr,
+            on_progress=on_progress)[0]
+
+    def analyze_plan_groups(self, groups, *,
+                            max_instr: Optional[int] = None,
+                            on_progress: Optional[ProgressCallback] = None
+                            ) -> list[list[dict[str, set[str]]]]:
+        """Traced analyses for many labeled plan groups, one dispatch.
+
+        ``groups`` is a sequence of ``(label, plans)`` pairs; returns
+        one list of per-plan pattern tables per group, in group order.
+        All groups' shards ship through a single
+        :meth:`Backend.analyze_shards` call.  Duplicate plans are
+        analyzed once and aliased across the whole batch — a pattern
+        table is a pure function of the plan (determinism contract),
+        so aliasing never changes a group's result, only the number of
+        traced runs performed.
         """
         self._check_open()
-        plans = list(plans)
+        groups = [(label, list(plans)) for label, plans in groups]
         # the tracker must exist before dispatch so fork-based backends
         # can warm it and let children inherit the golden trace
         self._tracker_for_analysis()
-        keys = [plan_key(self.program_fp, p, max_instr) for p in plans]
-        results: list[Optional[dict[str, set[str]]]] = [None] * len(plans)
-
+        group_keys: list[list[str]] = []
+        results: list[list[Optional[dict[str, set[str]]]]] = []
         # one traced run per unique key; duplicates are aliased
-        pending: dict[str, list[int]] = {}
-        for i, key in enumerate(keys):
-            pending.setdefault(key, []).append(i)
-        unique = sorted(indices[0] for indices in pending.values())
-        shards = [unique[s:s + self.shard_size]
-                  for s in range(0, len(unique), self.shard_size)]
-        shard_plans = [[plans[i] for i in shard] for shard in shards]
+        waiting: dict[str, list[tuple[int, int]]] = {}
+        owner: dict[str, tuple[int, int]] = {}
+        for g_i, (_label, plans) in enumerate(groups):
+            keys = [plan_key(self.program_fp, p, max_instr) for p in plans]
+            group_keys.append(keys)
+            results.append([None] * len(plans))
+            for i, key in enumerate(keys):
+                waiting.setdefault(key, []).append((g_i, i))
+                owner.setdefault(key, (g_i, i))
 
-        done = 0
+        unique, shards, group_shard_base, group_shards, shard_plans = \
+            self._shard_groups(groups, owner)
+
+        totals = [len(plans) for _label, plans in groups]
+        done = [0] * len(groups)
         for s_i, pairs in self.backend.analyze_shards(shard_plans,
                                                       max_instr):
-            shard = shards[s_i]
-            for i, (value, patterns) in zip(shard, pairs):
-                for alias in pending[keys[i]]:
+            g_i, indices = shards[s_i]
+            label, plans = groups[g_i]
+            for i, (value, patterns) in zip(indices, pairs):
+                for a_g, a_i in waiting[group_keys[g_i][i]]:
                     # fresh sets per alias: callers may mutate them
-                    results[alias] = {region: set(pats) for region, pats
-                                      in patterns.items()}
+                    results[a_g][a_i] = {region: set(pats)
+                                         for region, pats
+                                         in patterns.items()}
+                    done[a_g] += 1
                 self._cache_manifestation(plans[i], value, max_instr)
-                done += len(pending[keys[i]])
-            self.executed += len(shard)
-            self._emit_analysis_progress(on_progress, done, len(plans),
-                                         s_i + 1, len(shards))
-        if not shards:
-            self._emit_analysis_progress(on_progress, len(plans),
-                                         len(plans), 0, 0)
+            self.executed += len(indices)
+            self._emit_analysis_progress(on_progress, done[g_i],
+                                         totals[g_i],
+                                         s_i - group_shard_base[g_i] + 1,
+                                         group_shards[g_i], label=label)
+        for g_i, (label, _plans) in enumerate(groups):
+            if group_shards[g_i] == 0:
+                self._emit_analysis_progress(on_progress, totals[g_i],
+                                             totals[g_i], 0, 0,
+                                             label=label)
         self.cache.flush()
         return results  # type: ignore[return-value]
 
@@ -300,9 +412,10 @@ class ExecutionEngine:
 
     @staticmethod
     def _emit_analysis_progress(on_progress, done: int, total: int,
-                                shard: int, shards: int) -> None:
+                                shard: int, shards: int,
+                                label: str = "analysis") -> None:
         if on_progress is not None:
-            on_progress(ProgressEvent(label="analysis", phase="analysis",
+            on_progress(ProgressEvent(label=label, phase="analysis",
                                       done=done, total=total,
                                       shard=shard, shards=shards))
 

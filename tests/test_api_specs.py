@@ -1,0 +1,184 @@
+"""Spec layer: validation, JSON round-trips, strict decoding, envelope."""
+
+import json
+
+import pytest
+
+from repro.api import (SCHEMA_VERSION, AnalysisSpec, CampaignSpec,
+                       Experiment, ExperimentResult, SpecError,
+                       SpecResult, decode_spec, encode_spec)
+from repro.faults.campaign import CampaignResult
+
+
+def grid_experiment(**overrides) -> Experiment:
+    kwargs = dict(
+        name="fig5-mini", apps=("kmeans",),
+        specs=(CampaignSpec(region="k_d", kind="internal", n=4),
+               CampaignSpec(region="k_f", kind="input", n=4),
+               CampaignSpec(target="iteration", iteration=1, kind="input"),
+               CampaignSpec(target="whole_program", kind="internal", n=9),
+               AnalysisSpec(runs_per_kind=1, probe_sites=2,
+                            probe_bits=(0, 20))),
+        seed=7)
+    kwargs.update(overrides)
+    return Experiment(**kwargs)
+
+
+class TestValidation:
+    def test_region_target_needs_region(self):
+        with pytest.raises(SpecError, match="region name"):
+            CampaignSpec(target="region", region=None)
+
+    def test_iteration_target_needs_iteration(self):
+        with pytest.raises(SpecError, match="iteration"):
+            CampaignSpec(target="iteration")
+
+    def test_bad_target_and_kind(self):
+        with pytest.raises(SpecError, match="target"):
+            CampaignSpec(target="loop", region="r")
+        with pytest.raises(SpecError, match="kind"):
+            CampaignSpec(region="r", kind="output")
+
+    def test_negative_counts(self):
+        with pytest.raises(SpecError):
+            CampaignSpec(region="r", n=-1)
+        with pytest.raises(SpecError):
+            AnalysisSpec(runs_per_kind=-1)
+
+    def test_experiment_needs_apps_and_specs(self):
+        with pytest.raises(SpecError, match="app"):
+            Experiment(name="x", apps=(),
+                       specs=(CampaignSpec(region="r"),))
+        with pytest.raises(SpecError, match="spec"):
+            Experiment(name="x", apps=("kmeans",), specs=())
+
+    def test_spec_pinned_to_unknown_app(self):
+        with pytest.raises(SpecError, match="pins app"):
+            Experiment(name="x", apps=("kmeans",),
+                       specs=(CampaignSpec(region="r", app="cg"),))
+
+    def test_unknown_backend(self):
+        with pytest.raises(SpecError, match="backend"):
+            grid_experiment(backend="mpi")
+
+    def test_probe_bits_normalized_to_tuple(self):
+        spec = AnalysisSpec(probe_bits=[0, 20])
+        assert spec.probe_bits == (0, 20)
+
+
+class TestRoundTrip:
+    def test_identity(self):
+        exp = grid_experiment()
+        assert Experiment.from_json(exp.to_json()) == exp
+
+    def test_spec_encode_decode_identity(self):
+        for spec in grid_experiment().specs:
+            assert decode_spec(encode_spec(spec)) == spec
+
+    def test_sparse_payload_uses_defaults(self):
+        exp = Experiment.from_json(json.dumps({
+            "schema_version": SCHEMA_VERSION, "name": "t",
+            "apps": ["kmeans"],
+            "specs": [{"type": "campaign", "region": "k_d"}]}))
+        assert exp.seed == 20181111 and exp.workers == 1
+        assert exp.specs[0].kind == "internal" and exp.specs[0].n is None
+
+    def test_schema_version_required_and_checked(self):
+        payload = grid_experiment().to_dict()
+        del payload["schema_version"]
+        with pytest.raises(SpecError, match="schema_version"):
+            Experiment.from_dict(payload)
+        payload["schema_version"] = SCHEMA_VERSION + 1
+        with pytest.raises(SpecError, match="schema_version"):
+            Experiment.from_dict(payload)
+
+    def test_unknown_experiment_field_rejected(self):
+        payload = grid_experiment().to_dict()
+        payload["sede"] = 42  # typo'd "seed" must not pass silently
+        with pytest.raises(SpecError, match="sede"):
+            Experiment.from_dict(payload)
+
+    def test_unknown_spec_field_rejected(self):
+        payload = grid_experiment().to_dict()
+        payload["specs"][0]["regoin"] = "k_d"
+        with pytest.raises(SpecError, match="regoin"):
+            Experiment.from_dict(payload)
+
+    def test_unknown_spec_type_rejected(self):
+        with pytest.raises(SpecError, match="type"):
+            decode_spec({"type": "sweep"})
+
+    def test_not_json(self):
+        with pytest.raises(SpecError, match="JSON"):
+            Experiment.from_json("{nope")
+
+
+class TestResultEnvelope:
+    def result(self) -> ExperimentResult:
+        exp = grid_experiment()
+        campaign = CampaignResult(success=3, failed=1, crashed=0,
+                                  label="kmeans/k_d/internal")
+        campaign.details.update(executed=4, cached=0, shards=1, total=4,
+                                backend="local")
+        return ExperimentResult(
+            experiment=exp,
+            results=[SpecResult(index=0, app="kmeans",
+                                label="kmeans/k_d/internal",
+                                mode="campaign", campaign=campaign),
+                     SpecResult(index=4, app="kmeans",
+                                label="kmeans/patterns", mode="analysis",
+                                patterns={"k_d": ["DO"], "k_f": []})],
+            dispatches=[{"app": "kmeans", "mode": "campaign",
+                         "kind": "internal", "specs": [0], "plans": 4,
+                         "executed": 4, "cached": 0, "backend": "local",
+                         "seconds": 0.25}],
+            elapsed=0.5)
+
+    def test_round_trip_identity(self):
+        result = self.result()
+        back = ExperimentResult.from_json(result.to_json())
+        assert back.experiment == result.experiment
+        assert back.results == result.results
+        assert back.dispatches == result.dispatches
+        assert back.to_json() == result.to_json()
+
+    def test_lookup_helpers(self):
+        result = self.result()
+        assert result.campaign("kmeans", 0).success == 3
+        assert result.patterns("kmeans", 4) == {"k_d": {"DO"}, "k_f": set()}
+        with pytest.raises(KeyError):
+            result.campaign("kmeans", 2)
+        with pytest.raises(ValueError):
+            result.patterns("kmeans", 0)
+
+    def test_canonical_strips_provenance(self):
+        payload = json.loads(self.result().to_json(provenance=False))
+        assert "dispatches" not in payload and "elapsed" not in payload
+        # dispatch accounting (executed/cached/shards/backend) varies
+        # with shard size and cache warmth — outcome counts do not
+        assert "details" not in payload["results"][0]["campaign"]
+        # substrate config is neutralized so local/socket runs diff clean
+        assert payload["experiment"]["backend"] is None
+        assert payload["experiment"]["workers"] == 1
+
+    def test_canonical_is_substrate_independent(self):
+        result = self.result()
+        other = self.result()
+        other.experiment = grid_experiment(backend="socket",
+                                           backend_addr="h:1", workers=4)
+        other.results[0].campaign.details.update(backend="socket",
+                                                 shards=7, cached=3)
+        other.dispatches[0]["seconds"] = 99.0
+        assert other.to_json(provenance=False) == \
+            result.to_json(provenance=False)
+        assert other.to_json() != result.to_json()
+
+    def test_executed_cached_totals(self):
+        result = self.result()
+        assert result.executed == 4 and result.cached == 0
+
+    def test_result_schema_version_checked(self):
+        payload = json.loads(self.result().to_json())
+        payload["schema_version"] = SCHEMA_VERSION + 1
+        with pytest.raises(SpecError, match="schema_version"):
+            ExperimentResult.from_dict(payload)

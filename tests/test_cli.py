@@ -109,3 +109,100 @@ class TestDot:
         assert code == 0
         assert path.read_text().startswith("digraph")
         assert "wrote" in out
+
+
+class TestRunSpec:
+    SPEC = """{
+      "schema_version": 1,
+      "name": "cli-mini",
+      "apps": ["kmeans"],
+      "seed": 3,
+      "specs": [
+        {"type": "campaign", "region": "k_d", "kind": "internal", "n": 4},
+        {"type": "campaign", "region": "k_d", "kind": "input", "n": 4}
+      ]
+    }"""
+
+    def spec_file(self, tmp_path, text=None):
+        path = tmp_path / "spec.json"
+        path.write_text(text or self.SPEC)
+        return str(path)
+
+    def test_run_summary_table(self, capsys, tmp_path):
+        code, out = run(capsys, "run", self.spec_file(tmp_path))
+        assert code == 0
+        assert "cli-mini" in out
+        assert "kmeans/k_d/internal" in out and "kmeans/k_d/input" in out
+        assert "2 dispatches" in out  # one per kind, not one per spec
+
+    def test_run_json_envelope_round_trips(self, capsys, tmp_path):
+        import json
+
+        from repro.api import ExperimentResult
+        code, out = run(capsys, "run", self.spec_file(tmp_path), "--json")
+        assert code == 0
+        result = ExperimentResult.from_json(out)
+        assert result.experiment.name == "cli-mini"
+        assert result.campaign("kmeans", 0).total == 4
+        assert len(json.loads(out)["dispatches"]) == 2
+
+    def test_canonical_json_is_deterministic(self, capsys, tmp_path):
+        path = self.spec_file(tmp_path)
+        _, out1 = run(capsys, "run", path, "--json", "--canonical")
+        _, out2 = run(capsys, "run", path, "--json", "--canonical")
+        assert out1 == out2
+        assert "seconds" not in out1 and "elapsed" not in out1
+
+    def test_cli_flags_override_spec(self, capsys, tmp_path):
+        import json
+        path = self.spec_file(tmp_path)
+        code, out = run(capsys, "--seed", "777", "--shard-size", "2",
+                        "run", path, "--json")
+        assert code == 0
+        payload = json.loads(out)
+        assert payload["experiment"]["seed"] == 777
+        assert payload["experiment"]["shard_size"] == 2
+
+    def test_missing_file_fails_cleanly(self, capsys, tmp_path):
+        code = main(["run", str(tmp_path / "nope.json")])
+        assert code == 1
+        assert "cannot read spec" in capsys.readouterr().err
+
+    def test_bad_spec_reports_spec_error(self, tmp_path, capsys):
+        path = self.spec_file(tmp_path, text='{"schema_version": 1}')
+        code = main(["run", str(path)])
+        err = capsys.readouterr().err
+        assert code == 1
+        assert "bad spec" in err
+
+    def test_unknown_field_named_in_error(self, tmp_path, capsys):
+        bad = self.SPEC.replace('"seed": 3', '"sede": 3')
+        path = self.spec_file(tmp_path, text=bad)
+        code = main(["run", str(path)])
+        err = capsys.readouterr().err
+        assert code == 1 and "sede" in err
+
+    def test_explicitly_set_default_still_overrides_spec(self, capsys,
+                                                         tmp_path):
+        import json
+        spec = json.loads(self.SPEC)
+        spec["backend"] = "async"
+        path = self.spec_file(tmp_path, text=json.dumps(spec))
+        # --backend local equals the built-in default but was explicit,
+        # so it must beat the spec's async backend
+        _, out = run(capsys, "--backend", "local", "run", path, "--json")
+        payload = json.loads(out)
+        assert payload["experiment"]["backend"] == "local"
+        assert payload["dispatches"][0]["backend"] == "local"
+
+    def test_unknown_app_fails_cleanly(self, capsys, tmp_path):
+        bad = self.SPEC.replace('"kmeans"', '"nosuchapp"')
+        code = main(["run", self.spec_file(tmp_path, text=bad)])
+        err = capsys.readouterr().err
+        assert code == 1 and "nosuchapp" in err
+
+    def test_unknown_region_fails_cleanly(self, capsys, tmp_path):
+        bad = self.SPEC.replace('"k_d"', '"nope"')
+        code = main(["run", self.spec_file(tmp_path, text=bad)])
+        err = capsys.readouterr().err
+        assert code == 1 and "bad spec target" in err

@@ -391,3 +391,124 @@ class TestCliEngineFlags:
                      "kmeans", "k_d", "-n", "8", "--progress"]) == 0
         err = capsys.readouterr().err
         assert "[campaign]" in err and "shard 2/2" in err
+
+
+# ---------------------------------------------------- multi-label batches
+class TestPlanGroupBatches:
+    """run_plan_groups / analyze_plan_groups: the repro.api demux seam."""
+
+    def setup_method(self):
+        self.prog = tiny_program()
+        self.ft = FlipTracker(self.prog, seed=9)
+        inst = loop_instance(self.ft)
+        self.internal = self.ft.make_plans(inst, "internal", 6)
+        self.inputs = self.ft.make_plans(inst, "input", 5)
+        self.budget = self.ft.faulty_budget
+
+    def test_singleton_group_equals_run_plans(self):
+        with ExecutionEngine(self.prog) as eng:
+            grouped = eng.run_plan_groups([("a", self.internal)],
+                                          max_instr=self.budget)[0]
+        with ExecutionEngine(self.prog) as eng2:
+            plain = eng2.run_plans(self.internal, max_instr=self.budget,
+                                   label="a")
+        assert grouped == plain
+
+    def test_batch_equals_sequential_calls(self):
+        groups = [("g0", self.internal), ("g1", self.inputs),
+                  ("g2", self.internal)]  # g2 duplicates g0 entirely
+        with ExecutionEngine(self.prog) as eng:
+            batched = eng.run_plan_groups(groups, max_instr=self.budget)
+        with ExecutionEngine(self.prog) as eng2:
+            sequential = [eng2.run_plans(plans, max_instr=self.budget,
+                                         label=label)
+                          for label, plans in groups]
+        assert batched == sequential
+        # the duplicate group was served by aliasing, like a cache hit
+        assert batched[2].details["executed"] == 0
+        assert batched[2].details["cached"] == len(self.internal)
+
+    def test_batch_is_one_backend_fanout(self):
+        calls = []
+        with ExecutionEngine(self.prog) as eng:
+            original = eng.backend.run_shards
+
+            def counting(shards, max_instr):
+                calls.append(len(shards))
+                return original(shards, max_instr)
+
+            eng.backend.run_shards = counting
+            eng.run_plan_groups([("g0", self.internal),
+                                 ("g1", self.inputs)],
+                                max_instr=self.budget)
+        assert len(calls) == 1  # the whole batch: one dispatch
+
+    def test_group_shard_boundaries_match_legacy(self):
+        events = []
+        with ExecutionEngine(self.prog, shard_size=4) as eng:
+            results = eng.run_plan_groups(
+                [("g0", self.internal), ("g1", self.inputs)],
+                max_instr=self.budget, on_progress=events.append)
+        for result in results:
+            executed = result.details["executed"]
+            assert result.details["shards"] == -(-executed // 4)
+        labels = [e.label for e in events]
+        assert labels == sorted(labels, key=("g0", "g1").index)
+        for label, result in zip(("g0", "g1"), results):
+            shards = [e.shard for e in events if e.label == label]
+            assert shards == list(range(1, result.details["shards"] + 1))
+
+    def test_use_cache_false_scopes_dedup_to_one_group(self):
+        with ExecutionEngine(self.prog) as eng:
+            results = eng.run_plan_groups(
+                [("g0", self.internal), ("g1", self.internal)],
+                max_instr=self.budget, use_cache=False)
+        # sequential use_cache=False calls re-execute; so must the batch
+        for result in results:
+            assert result.details["cached"] == \
+                len(self.internal) - result.details["executed"]
+            assert result.details["executed"] > 0
+
+    def test_analyze_groups_equal_sequential(self):
+        groups = [("a0", self.internal[:3]), ("a1", self.internal[:3])]
+        ft1 = FlipTracker(self.prog, seed=9)
+        eng = ft1.engine
+        batched = eng.analyze_plan_groups(groups, max_instr=self.budget)
+        executed_after_batch = eng.executed
+        sequential = [eng.analyze_plans(plans, max_instr=self.budget)
+                      for _label, plans in groups]
+        ft1.close()
+        assert batched == sequential
+        # duplicates across groups were analyzed once in the batch
+        assert executed_after_batch == 3
+
+    def test_empty_groups(self):
+        with ExecutionEngine(self.prog) as eng:
+            results = eng.run_plan_groups([("e", [])],
+                                          max_instr=self.budget)
+        assert results[0].total == 0 and results[0].details["shards"] == 0
+
+
+# ------------------------------------------------------- close re-entry
+class TestTrackerCloseReentry:
+    def test_close_twice_is_noop(self):
+        ft = FlipTracker(tiny_program(), seed=9)
+        ft.region_campaign(loop_instance(ft).region.name, "internal", n=2)
+        ft.close()
+        ft.close()  # second close must not touch the dead engine
+
+    def test_close_before_use_is_noop(self):
+        FlipTracker(tiny_program(), seed=9).close()
+
+    def test_closed_tracker_rebuilds_engine_lazily(self):
+        ft = FlipTracker(tiny_program(), seed=9)
+        region = loop_instance(ft).region.name
+        r1 = ft.region_campaign(region, "internal", n=4)
+        first_engine = ft._engine
+        ft.close()
+        assert ft._engine is None
+        r2 = ft.region_campaign(region, "internal", n=4)  # rebuilds
+        assert ft._engine is not None and ft._engine is not first_engine
+        assert (r1.success, r1.failed, r1.crashed) == \
+            (r2.success, r2.failed, r2.crashed)
+        ft.close()

@@ -16,6 +16,10 @@ Two checks, both fatal on failure:
    ``repro.engine.backends.protocol`` (and ``DEFAULT_PORT`` with
    ``repro.engine.backends.remote``), so the spec cannot silently rot
    while the implementation moves on.
+3. **Experiment-schema drift check** — ``docs/experiments.md`` must
+   document the ``SCHEMA_VERSION`` that ``repro.api.specs`` actually
+   speaks, and its field tables must cover every ``Experiment`` /
+   ``CampaignSpec`` / ``AnalysisSpec`` dataclass field.
 """
 
 from __future__ import annotations
@@ -139,8 +143,39 @@ def check_protocol_drift() -> list:
     return errors
 
 
+def check_experiment_drift() -> list:
+    sys.path.insert(0, str(REPO / "src"))
+    import dataclasses
+
+    from repro.api import specs
+
+    text = (REPO / "docs" / "experiments.md").read_text(encoding="utf-8")
+    errors = []
+
+    documented = {row[0]: row[1]
+                  for row in section_table(text, "Schema")
+                  if len(row) == 2}
+    if documented.get("SCHEMA_VERSION") != str(specs.SCHEMA_VERSION):
+        errors.append(
+            f"experiments.md Schema: SCHEMA_VERSION documented as "
+            f"{documented.get('SCHEMA_VERSION')!r}, code says "
+            f"{specs.SCHEMA_VERSION!r}")
+
+    # every dataclass field must appear in a field table / field list
+    for cls, extra in ((specs.Experiment, {"schema_version"}),
+                       (specs.CampaignSpec, set()),
+                       (specs.AnalysisSpec, set())):
+        names = {f.name for f in dataclasses.fields(cls)} | extra
+        for name in sorted(names):
+            if f"`{name}`" not in text:
+                errors.append(f"experiments.md: {cls.__name__} field "
+                              f"{name!r} undocumented")
+    return errors
+
+
 def main() -> int:
-    errors = check_links() + check_protocol_drift()
+    errors = (check_links() + check_protocol_drift()
+              + check_experiment_drift())
     for error in errors:
         print(f"FAIL: {error}", file=sys.stderr)
     if errors:
