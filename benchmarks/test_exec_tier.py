@@ -1,0 +1,72 @@
+"""Compiled execution tier: >= 2x faulty-run throughput, same results.
+
+The compiled tier exists to make Leveugle-sized campaigns (thousands
+of untraced faulty runs per region) cheap: specialization bakes
+constants, operand decoding and dispatch into generated Python at
+lowering time, and the fault trigger is enforced by a per-segment
+budget check instead of a per-instruction one.  This benchmark runs
+one fixed mini-campaign through both tiers and asserts
+
+* manifestation-identical results (the tier contract),
+* no silent fallback (the interpreter instance reports the tier that
+  actually executed), and
+* a >= 2x wall-clock speedup for the compiled tier.
+"""
+
+import time
+
+from conftest import scaled
+
+from repro.apps import REGISTRY
+from repro.util.tables import format_table
+from repro.vm.fault import FaultPlan
+from repro.faults.campaign import run_plan
+
+SPEEDUP_FLOOR = 2.0
+
+
+def _plans(n_dyn: int, count: int) -> list[FaultPlan]:
+    """Deterministic pseudo-random result-mode plans over the stream."""
+    return [FaultPlan(trigger=(i * 9973 + 17) % n_dyn,
+                      mode="result", bit=(i * 13) % 64)
+            for i in range(count)]
+
+
+def _campaign(program, plans, tier: str) -> tuple[list[str], float]:
+    t0 = time.perf_counter()
+    values = [run_plan(program, plan, exec_tier=tier).value
+              for plan in plans]
+    return values, time.perf_counter() - t0
+
+
+def test_compiled_tier_speedup():
+    program = REGISTRY.build("cg")
+    clean = program.fresh_interpreter(exec_tier="interp")
+    clean.run()
+    plans = _plans(clean.dyn_count, scaled(40))
+
+    # no silent fallback: the compiled tier must actually engage
+    probe = program.fresh_interpreter(exec_tier="compiled")
+    probe.run()
+    assert probe.exec_tier == "compiled"
+    assert probe.dyn_count == clean.dyn_count
+
+    # warm both arms (compiled lowering is one-time per module)
+    run_plan(program, plans[0], exec_tier="interp")
+    run_plan(program, plans[0], exec_tier="compiled")
+
+    interp_values, interp_s = _campaign(program, plans, "interp")
+    compiled_values, compiled_s = _campaign(program, plans, "compiled")
+    speedup = interp_s / compiled_s
+
+    print()
+    print(format_table(
+        ["tier", "faulty runs", "wall (s)", "runs/s"],
+        [["interp", len(plans), f"{interp_s:.3f}",
+          f"{len(plans) / interp_s:.1f}"],
+         ["compiled", len(plans), f"{compiled_s:.3f}",
+          f"{len(plans) / compiled_s:.1f}"]],
+        title=f"Execution-tier throughput (speedup {speedup:.2f}x)"))
+
+    assert compiled_values == interp_values  # identical manifestations
+    assert speedup >= SPEEDUP_FLOOR

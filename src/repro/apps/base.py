@@ -17,6 +17,7 @@ from dataclasses import dataclass, field
 from typing import Callable, Optional
 
 from repro.ir.module import Module
+from repro.vm.exec_tier import make_interpreter
 from repro.vm.interp import Interpreter
 
 
@@ -42,13 +43,18 @@ class Program:
             self.check = verified_flag_check
 
     def fresh_interpreter(self, *, trace: bool = False, fault=None,
-                          max_instr: Optional[int] = None) -> Interpreter:
-        return Interpreter(self.module, trace=trace, fault=fault,
-                           max_instr=max_instr or self.max_instr)
+                          max_instr: Optional[int] = None,
+                          exec_tier: Optional[str] = None) -> Interpreter:
+        """Interpreter on the selected execution tier (explicit arg >
+        ``REPRO_EXEC`` env > interp; see :mod:`repro.vm.exec_tier`)."""
+        return make_interpreter(self.module, exec_tier=exec_tier,
+                                trace=trace, fault=fault,
+                                max_instr=max_instr or self.max_instr)
 
-    def run_fault_free(self, *, trace: bool = False) -> Interpreter:
+    def run_fault_free(self, *, trace: bool = False,
+                       exec_tier: Optional[str] = None) -> Interpreter:
         """Execute without faults; raises if verification fails (a bug)."""
-        interp = self.fresh_interpreter(trace=trace)
+        interp = self.fresh_interpreter(trace=trace, exec_tier=exec_tier)
         interp.run(self.entry)
         if not self.check(interp):
             raise RuntimeError(

@@ -38,6 +38,7 @@ via ``serve``, which execute both ``RUN`` and ``ANALYZE`` jobs
 from __future__ import annotations
 
 import argparse
+import os
 import sys
 from typing import Optional, Sequence
 
@@ -362,6 +363,13 @@ def build_parser() -> argparse.ArgumentParser:
                    help="shard server address(es) for --backend socket "
                         "(default 127.0.0.1:7453; start one with "
                         "'repro serve <app>')")
+    p.add_argument("--exec-tier", choices=("interp", "compiled"),
+                   default=None,
+                   help="VM execution tier (sets REPRO_EXEC for this "
+                        "process and its workers): the flat interpreter "
+                        "loop, or per-function compiled Python — "
+                        "byte-identical observables, compiled is "
+                        "several times faster per faulty run")
     sub = p.add_subparsers(dest="command", required=True)
 
     sub.add_parser("apps", help="list study programs")
@@ -463,6 +471,11 @@ _HANDLERS = {
 
 def main(argv: Optional[Sequence[str]] = None) -> int:
     args = build_parser().parse_args(argv)
+    if args.exec_tier is not None:
+        # the environment variable is the tier's cross-process channel:
+        # pool workers and spec-runner engines all inherit it (workers
+        # additionally receive the resolved tier in task payloads)
+        os.environ["REPRO_EXEC"] = args.exec_tier
     if args.command != "run":
         # every other command takes the engine flags directly; "run"
         # resolves them against the spec file (_apply_engine_overrides)

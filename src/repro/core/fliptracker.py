@@ -98,12 +98,18 @@ class FlipTracker:
     backend_addr:
         ``"host:port[,host:port...]"`` of running shard servers, for
         ``backend="socket"``.
+    exec_tier:
+        VM execution tier for every run this tracker performs (golden
+        trace, traced analyses, campaign shards):
+        ``"interp"``/``"compiled"``; ``None`` defers to ``REPRO_EXEC``.
+        Byte-identical observables on either tier.
     """
 
     def __init__(self, program: Program, seed: int = 1234,
                  workers: int = 1, *, cache_dir: Optional[str] = None,
                  resume: bool = True, shard_size: int = 64,
-                 backend=None, backend_addr=None):
+                 backend=None, backend_addr=None,
+                 exec_tier: Optional[str] = None):
         self.program = program
         self.seed = seed
         self.workers = workers
@@ -112,6 +118,7 @@ class FlipTracker:
         self.shard_size = shard_size
         self.backend = backend
         self.backend_addr = backend_addr
+        self.exec_tier = exec_tier
         self._engine: Optional[ExecutionEngine] = None
         self._ff: Optional[Trace] = None
         self._index: Optional[TraceIndex] = None
@@ -129,7 +136,8 @@ class FlipTracker:
                 self.program, workers=self.workers,
                 cache_dir=self.cache_dir, resume=self.resume,
                 shard_size=self.shard_size, backend=self.backend,
-                backend_addr=self.backend_addr)
+                backend_addr=self.backend_addr,
+                exec_tier=self.exec_tier)
             self._engine.bind_tracker(self)
         return self._engine
 
@@ -159,7 +167,8 @@ class FlipTracker:
     def fault_free_trace(self) -> Trace:
         """Trace the golden run (cached)."""
         if self._ff is None:
-            interp = self.program.run_fault_free(trace=True)
+            interp = self.program.run_fault_free(trace=True,
+                                                 exec_tier=self.exec_tier)
             self._ff = Trace(interp.records, self.program.module,
                              TraceMeta(program=self.program.name))
         return self._ff
@@ -340,7 +349,8 @@ class FlipTracker:
     def analyze_injection(self, plan: FaultPlan) -> RunAnalysis:
         """Trace one faulty run and extract ACL + pattern instances."""
         interp = self.program.fresh_interpreter(
-            trace=True, fault=plan, max_instr=self.faulty_budget)
+            trace=True, fault=plan, max_instr=self.faulty_budget,
+            exec_tier=self.exec_tier)
         crashed = False
         try:
             interp.run(self.program.entry)

@@ -91,7 +91,9 @@ class Backend:
                        max_instr: Optional[int]) -> list[str]:
         """In-process reference execution (shared fallback path)."""
         from repro.faults.campaign import run_plan
-        return [run_plan(self.engine.program, plan, max_instr).value
+        tier = self.engine.exec_tier
+        return [run_plan(self.engine.program, plan, max_instr,
+                         exec_tier=tier).value
                 for plan in plans]
 
     def analyze_sequential(self, plans: Sequence[FaultPlan],

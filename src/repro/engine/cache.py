@@ -61,10 +61,15 @@ class PlanCache:
         return value
 
     def put(self, key: str, value: str, meta: Optional[dict] = None) -> None:
-        """Record one result; spills immediately when disk-backed."""
-        fresh = key not in self._mem
+        """Record one result; spills immediately when disk-backed.
+
+        A key overwritten with a *different* value (the ``resume=False``
+        re-run path) is re-appended so ``_load``'s last-wins replay sees
+        the new result; re-putting the same value stays spill-free.
+        """
+        changed = self._mem.get(key) != value
         self._mem[key] = value
-        if fresh and self.path is not None:
+        if changed and self.path is not None:
             record = {"v": KEY_VERSION, "key": key, "m": value}
             if meta:
                 record.update(meta)

@@ -64,21 +64,32 @@ class ExecutionEngine:
     backend_addr:
         Shard-server address(es) for ``backend="socket"``
         (``"host:port"`` or ``"h1:p1,h2:p2"``; ignored otherwise).
+    exec_tier:
+        VM execution tier for faulty runs (``"interp"``/``"compiled"``);
+        ``None`` defers to the ``REPRO_EXEC`` environment variable.
+        Both tiers are byte-identical across all observables, so the
+        choice never affects results.  The resolved tier rides the
+        local backend's task payloads; protocol workers (async children,
+        shard servers) resolve ``REPRO_EXEC`` in their own process —
+        inherited from the parent for in-host backends.
     """
 
     def __init__(self, program, *, workers: Optional[int] = 1,
                  cache: Optional[PlanCache] = None,
                  cache_dir: Optional[str] = None, resume: bool = True,
                  shard_size: int = 64, min_parallel: int = 4,
-                 backend=None, backend_addr=None):
+                 backend=None, backend_addr=None,
+                 exec_tier: Optional[str] = None):
         from repro.engine.backends import (LocalPoolBackend,
                                            resolve_backend)
+        from repro.vm.exec_tier import resolve_exec_tier
         if workers is None:
             workers = min(4, os.cpu_count() or 1)
         if shard_size < 1:
             raise ValueError("shard_size must be >= 1")
         self.program = program
         self.workers = max(1, int(workers))
+        self.exec_tier = resolve_exec_tier(exec_tier)
         self.shard_size = shard_size
         self.min_parallel = min_parallel
         self._owns_cache = cache is None
@@ -423,6 +434,7 @@ class ExecutionEngine:
     def stats(self) -> dict:
         return {"workers": self.workers, "executed": self.executed,
                 "backend": self.backend.name,
+                "exec_tier": self.exec_tier,
                 "pool_starts": self.pool_starts,
                 "pool_alive": self._local.pool_alive,
                 "shard_size": self.shard_size,

@@ -60,13 +60,20 @@ def _tracker():
     return tracker
 
 
-def run_plans_task(task: tuple[int, Optional[int], Sequence[FaultPlan]]
+def run_plans_task(task: tuple[int, Optional[int], str,
+                               Sequence[FaultPlan]]
                    ) -> tuple[int, list[str]]:
-    """Execute one chunk of untraced faulty runs -> manifestation values."""
+    """Execute one chunk of untraced faulty runs -> manifestation values.
+
+    The engine's resolved execution tier rides in the payload so pool
+    workers never depend on environment inheritance for an *explicit*
+    ``exec_tier=`` engine option.
+    """
     from repro.faults.campaign import run_plan
-    index, max_instr, plans = task
+    index, max_instr, exec_tier, plans = task
     program = _STATE["program"]
-    return index, [run_plan(program, plan, max_instr).value
+    return index, [run_plan(program, plan, max_instr,
+                            exec_tier=exec_tier).value
                    for plan in plans]
 
 

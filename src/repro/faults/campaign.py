@@ -137,9 +137,16 @@ class CampaignResult:
 
 
 def run_plan(program: Program, plan: FaultPlan,
-             max_instr: Optional[int] = None) -> Manifestation:
-    """Execute one faulty run and classify its manifestation."""
-    interp = program.fresh_interpreter(fault=plan, max_instr=max_instr)
+             max_instr: Optional[int] = None,
+             exec_tier: Optional[str] = None) -> Manifestation:
+    """Execute one faulty run and classify its manifestation.
+
+    ``exec_tier`` picks the VM tier (``None`` defers to ``REPRO_EXEC``);
+    both tiers produce byte-identical manifestations, so the choice
+    never changes a campaign's result, only its wall-clock.
+    """
+    interp = program.fresh_interpreter(fault=plan, max_instr=max_instr,
+                                       exec_tier=exec_tier)
     try:
         interp.run(program.entry)
     except VMError:
@@ -158,6 +165,7 @@ def run_campaign(program: Program, plans: Iterable[FaultPlan], *,
                  cache=None, cache_dir: Optional[str] = None,
                  resume: bool = True,
                  backend=None, backend_addr=None,
+                 exec_tier: Optional[str] = None,
                  on_progress=None) -> CampaignResult:
     """Run all ``plans`` against ``program`` and aggregate outcomes.
 
@@ -172,7 +180,7 @@ def run_campaign(program: Program, plans: Iterable[FaultPlan], *,
     from repro.engine import ExecutionEngine
     with ExecutionEngine(program, workers=workers, cache=cache,
                          cache_dir=cache_dir, resume=resume,
-                         backend=backend,
-                         backend_addr=backend_addr) as engine:
+                         backend=backend, backend_addr=backend_addr,
+                         exec_tier=exec_tier) as engine:
         return engine.run_plans(plans, max_instr=max_instr, label=label,
                                 on_progress=on_progress)

@@ -4,6 +4,9 @@ from repro.vm.bitops import (bits_to_float64, flip_float64, flip_int,
                              flip_value, float64_to_bits)
 from repro.vm.errors import (ComputeTrap, HangError, MemoryFault, MPIDeadlock,
                              VMError, WouldBlock)
+from repro.vm.compile import CompiledInterpreter, compile_module
+from repro.vm.exec_tier import (EXEC_TIERS, make_interpreter,
+                                resolve_exec_tier)
 from repro.vm.fault import FaultPlan, FaultRecord
 from repro.vm.interp import Frame, Interpreter, decode_reg_loc, reg_loc
 
@@ -12,4 +15,6 @@ __all__ = [
     "float64_to_bits", "ComputeTrap", "HangError", "MemoryFault",
     "MPIDeadlock", "VMError", "WouldBlock", "FaultPlan", "FaultRecord",
     "Frame", "Interpreter", "decode_reg_loc", "reg_loc",
+    "CompiledInterpreter", "compile_module", "EXEC_TIERS",
+    "make_interpreter", "resolve_exec_tier",
 ]

@@ -171,7 +171,11 @@ class Interpreter:
         loc = plan.loc
         rec = self.fault_record
         if loc >= 0:
-            if not (0 <= loc < len(self.mem)):
+            # clamp to the *live* segment: words at or above the stack
+            # pointer are dead (a fresh ALLOCA re-zeroes them), so a flip
+            # there could never be observed by a live run and must count
+            # as a miss, exactly like a popped register frame
+            if not (0 <= loc < self.sp):
                 rec.fired = False
                 return
             old = self.mem[loc]
@@ -234,6 +238,11 @@ class Interpreter:
                     op, dest, srcs, aux, line = code[pc]
 
                     # -- fault pre-hook ('loc' mode fires before execution)
+                    # 'loc' commits here (the flip mutates state now, and
+                    # survives a blocked-op resume); a 'result' flip only
+                    # commits with the op — every blocked return below
+                    # re-arms the trigger so the resumed re-execution of
+                    # the instruction still flips its result.
                     if dyn == ftrig:
                         ftrig = -2
                         self._ftrig = -2
@@ -565,6 +574,8 @@ class Interpreter:
                             except WouldBlock:
                                 frame.pc = pc
                                 self.dyn_count = dyn
+                                if flipnow:
+                                    self._ftrig = fault.trigger
                                 return "blocked"
                         dyn += 1
                         if recs is not None:
@@ -592,6 +603,8 @@ class Interpreter:
                         except WouldBlock:
                             frame.pc = pc
                             self.dyn_count = dyn
+                            if flipnow:
+                                self._ftrig = fault.trigger
                             return "blocked"
                     elif op == 61:  # MPI_ALLREDUCE
                         if self.comm is None:
@@ -602,6 +615,8 @@ class Interpreter:
                             except WouldBlock:
                                 frame.pc = pc
                                 self.dyn_count = dyn
+                                if flipnow:
+                                    self._ftrig = fault.trigger
                                 return "blocked"
                     elif op == 62:  # MPI_BCAST root, value
                         if self.comm is None:
@@ -612,6 +627,8 @@ class Interpreter:
                             except WouldBlock:
                                 frame.pc = pc
                                 self.dyn_count = dyn
+                                if flipnow:
+                                    self._ftrig = fault.trigger
                                 return "blocked"
                     else:
                         self.dyn_count = dyn

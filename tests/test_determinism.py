@@ -226,6 +226,71 @@ class TestAnalysisBackendParity:
         assert result.details["cached"] == 4
 
 
+#: per-app explicitly-interpreted baseline for the tier-parity class:
+#: {app: (region, outcome_bytes)}.  Pinned to ``exec_tier="interp"`` so
+#: the comparison stays interp-vs-compiled even when the CI tier matrix
+#: sets ``REPRO_EXEC=compiled`` for the whole process.
+_TIER_BASELINE: dict = {}
+
+
+def interp_baseline(app):
+    if app not in _TIER_BASELINE:
+        with FlipTracker(REGISTRY.build(app), seed=SEED, workers=1,
+                         exec_tier="interp") as ft:
+            region = first_loop_region(ft)
+            result = ft.region_campaign(region, "internal", n=N)
+            _TIER_BASELINE[app] = (region, outcome_bytes(result))
+    return _TIER_BASELINE[app]
+
+
+@pytest.mark.parametrize("app", APPS)
+class TestExecTierParity:
+    """The compiled execution tier is byte-identical to the interpreter
+    through the whole engine stack (the ``exec_tier`` / ``REPRO_EXEC``
+    axis): same campaign outcomes, and a spill written under one tier
+    resumes under the other with zero new faulty runs — plan keys are
+    tier-independent precisely because the tiers are observably
+    identical."""
+
+    def test_campaign_matches_interp(self, app):
+        region, baseline = interp_baseline(app)
+        with FlipTracker(REGISTRY.build(app), seed=SEED, workers=2,
+                         shard_size=2, exec_tier="compiled") as ft:
+            result = ft.region_campaign(region, "internal", n=N)
+            assert ft.engine.stats()["exec_tier"] == "compiled"
+        assert outcome_bytes(result) == baseline
+
+    def test_compiled_cache_resumes_on_interp(self, app, tmp_path):
+        cache_dir = str(tmp_path / app)
+        region, baseline = interp_baseline(app)
+        with FlipTracker(REGISTRY.build(app), seed=SEED, workers=1,
+                         cache_dir=cache_dir,
+                         exec_tier="compiled") as fresh:
+            r_fresh = fresh.region_campaign(region, "internal", n=N)
+        with FlipTracker(REGISTRY.build(app), seed=SEED, workers=1,
+                         cache_dir=cache_dir,
+                         exec_tier="interp") as resumed:
+            r_resumed = resumed.region_campaign(region, "internal", n=N)
+        assert outcome_bytes(r_fresh) == baseline
+        assert outcome_bytes(r_resumed) == baseline
+        assert r_fresh.executed > 0
+        assert r_resumed.executed == 0  # zero new faulty runs
+        assert r_resumed.cached == N
+
+
+class TestExecTierAnalysisParity:
+    def test_kmeans_patterns_match_interp(self):
+        with FlipTracker(REGISTRY.build("kmeans"), seed=SEED, workers=1,
+                         exec_tier="interp") as ft:
+            baseline = patterns_bytes(
+                ft.region_patterns(runs_per_kind=1, loop_only=True))
+        with FlipTracker(REGISTRY.build("kmeans"), seed=SEED, workers=1,
+                         exec_tier="compiled") as ft:
+            found = ft.region_patterns(runs_per_kind=1, loop_only=True)
+        assert patterns_bytes(found) == baseline
+        assert any(found.values())  # the sweep saw at least one pattern
+
+
 class TestRegionPatternsInvariance:
     def test_kmeans_patterns_w1_equals_w4(self):
         with FlipTracker(REGISTRY.build("kmeans"), seed=SEED,

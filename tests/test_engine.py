@@ -103,6 +103,21 @@ class TestPlanCache:
         path.write_text("\n".join(lines) + "\n")
         assert PlanCache(str(tmp_path)).get("k") == "failed"
 
+    def test_overwrite_with_new_value_respills(self, tmp_path):
+        """Regression: re-putting a key with a *different* value used to
+        skip the spill (the key was already in ``_mem``), so a resumed
+        run replayed the stale first result instead of the re-executed
+        one and silently diverged from the non-resumed run."""
+        c = PlanCache(str(tmp_path))
+        c.put("k", "success")
+        c.put("k", "crashed")   # re-execution changed the outcome
+        c.put("k", "crashed")   # same value again: must stay spill-free
+        c.close()
+        lines = (tmp_path / SPILL_NAME).read_text().strip().splitlines()
+        assert len(lines) == 2  # one line per *distinct* value
+        resumed = PlanCache(str(tmp_path))
+        assert resumed.get("k") == "crashed"
+
 
 # ---------------------------------------------------------------- engine
 class TestEngineCampaigns:

@@ -343,6 +343,40 @@ def main() -> float:
             FaultPlan(trigger=0, mode="loc", bit=0)  # missing loc
 
 
+class TestLocFaultLiveness:
+    """Regression: 'loc' flips must target *live* memory only.
+
+    The bounds check used to compare against ``len(self.mem)`` — which
+    includes the pre-touched stack reserve — so a plan aimed at a dead
+    stack word reported ``fired=True`` and corrupted a cell the program
+    never owned, instead of being the miss the paper's model requires.
+    """
+
+    def _module(self):
+        pb = ProgramBuilder("t")
+        pb.scalar("g", F64, 7.0)
+        pb.func_source("def main() -> float:\n    return g + 1.0")
+        return pb.build()
+
+    def test_dead_stack_loc_is_a_miss(self):
+        module = self._module()
+        dead = module.stack_base + 100  # above live sp, inside reserve
+        plan = FaultPlan(trigger=0, mode="loc", bit=3, loc=dead)
+        interp = Interpreter(module, fault=plan)
+        assert dead < len(interp.mem)  # the old check would have "hit"
+        assert interp.run() == 8.0
+        assert not interp.fault_record.fired
+        assert interp.mem[dead] == 0  # dead word left untouched
+
+    def test_live_global_loc_still_fires(self):
+        module = self._module()
+        loc = module.scalars["g"].base
+        plan = FaultPlan(trigger=0, mode="loc", bit=63, loc=loc)
+        interp = Interpreter(module, fault=plan)
+        assert interp.run() == -6.0  # sign of g flipped before the load
+        assert interp.fault_record.fired
+
+
 class TestTraceRecords:
     def test_trace_length_equals_dyn_count(self):
         pb = ProgramBuilder("t")

@@ -5,9 +5,13 @@ import pytest
 from repro.parallel.comm import ANY_SOURCE, SimComm
 from repro.parallel.demo import (N_LOCAL, build_any_source,
                                  build_dot_product, build_ring)
+from repro.ir import opcodes as oc
 from repro.parallel.overhead import measure_tracing_overhead
 from repro.parallel.scheduler import RankScheduler
+from repro.trace.events import R_OP
 from repro.vm.errors import MPIDeadlock, WouldBlock
+from repro.vm.fault import FaultPlan
+from repro.vm.interp import Interpreter
 
 
 class TestSimComm:
@@ -140,6 +144,46 @@ class TestScheduler:
         job = RankScheduler(lambda r: m, 3, trace=True).run()
         lengths = [len(i.records) for i in job.ranks]
         assert all(n > 100 for n in lengths)
+
+
+class TestBlockedFaultRearm:
+    """Regression: a fault trigger consumed by an instruction that then
+    *blocks* (``WouldBlock``) used to be lost — the pre-execution hook
+    had disarmed it, the collective raised, and the retry re-executed
+    the same dynamic instruction with no fault armed.  The flip must
+    re-arm on block and fire when the instruction finally commits.
+    """
+
+    def test_result_fault_on_blocking_allreduce_fires(self):
+        m = build_dot_product()
+        # Discover the dyn index of rank 0's MPI_ALLREDUCE from a clean
+        # traced job.  Blocked attempts record nothing, and the record
+        # count equals dyn_count (no NOPs), so record index == dyn index.
+        traced = RankScheduler(lambda r: m, 2, trace=True,
+                               quantum=1_000_000).run()
+        recs = traced.ranks[0].records
+        assert len(recs) == traced.ranks[0].dyn_count
+        trigger = next(i for i, r in enumerate(recs)
+                       if r[R_OP] == oc.MPI_ALLREDUCE)
+        clean = traced.ranks[0].read_scalar("result")
+
+        # Round-robin visits rank 0 first; with a quantum larger than
+        # the whole program, rank 0 is guaranteed to reach the
+        # allreduce — and block on it — before rank 1 has contributed.
+        sched = RankScheduler(lambda r: m, 2, quantum=1_000_000)
+        plan = FaultPlan(trigger=trigger, mode="result", bit=51)
+        sched.ranks[0] = Interpreter(m, comm=sched.comm, rank=0,
+                                     fault=plan, max_instr=50_000_000)
+        job = sched.run()
+        assert job.passes >= 2  # rank 0 did block and was revisited
+
+        rec = job.ranks[0].fault_record
+        assert rec.fired
+        assert rec.dyn_index == trigger
+        assert rec.old_value == clean
+        assert rec.new_value != clean
+        assert job.ranks[0].read_scalar("result") == rec.new_value
+        assert job.ranks[1].read_scalar("result") == clean  # unfaulted
 
 
 class TestOverheadHarness:
