@@ -39,22 +39,31 @@ __all__ = ["run_experiment"]
 #: hold their own warmed trackers (those are then *not* closed here)
 TrackerFactory = Callable[[str], "object"]
 
+#: builds a backend instance per app (service tier: registry-resolved
+#: SocketBackends).  Substrate only — results are byte-identical
+#: whatever this returns, so the canonical envelope is unchanged.
+BackendFactory = Callable[[], "object"]
 
-def _default_tracker(experiment: Experiment, app: str):
+
+def _default_tracker(experiment: Experiment, app: str,
+                     backend_factory: Optional[BackendFactory] = None):
     from repro.apps import REGISTRY
     from repro.core import FlipTracker
+    backend = experiment.backend if backend_factory is None \
+        else backend_factory()
     return FlipTracker(REGISTRY.build(app), seed=experiment.seed,
                        workers=experiment.workers,
                        cache_dir=experiment.cache_dir,
                        resume=experiment.resume,
                        shard_size=experiment.shard_size,
-                       backend=experiment.backend,
+                       backend=backend,
                        backend_addr=experiment.backend_addr)
 
 
 def run_experiment(experiment: Experiment, *,
                    on_progress: Optional[ProgressCallback] = None,
-                   tracker_factory: Optional[TrackerFactory] = None
+                   tracker_factory: Optional[TrackerFactory] = None,
+                   backend_factory: Optional[BackendFactory] = None
                    ) -> ExperimentResult:
     """Execute every spec of ``experiment`` with batched dispatches.
 
@@ -63,14 +72,28 @@ def run_experiment(experiment: Experiment, *,
     lifecycles (they are not closed here); by default each app's
     tracker is built from the experiment's engine config and closed
     after its dispatches finish.
+
+    ``backend_factory`` (no-arg -> Backend instance) overrides the
+    *substrate* each default tracker dispatches on — the service
+    daemon passes registry-resolved socket backends this way — without
+    touching the experiment payload, so the canonical result image
+    stays byte-identical to any other substrate.  Ignored when
+    ``tracker_factory`` is given (that factory owns backend choice).
     """
     start = time.perf_counter()
     results: list[SpecResult] = []
     dispatches: list[dict] = []
     for app in experiment.apps:
         owned = tracker_factory is None
-        tracker = _default_tracker(experiment, app) if owned \
-            else tracker_factory(app)
+        if not owned:
+            tracker = tracker_factory(app)
+        elif backend_factory is None:
+            # keep the two-argument call shape: tests (and any caller)
+            # may wrap _default_tracker without the substrate override
+            tracker = _default_tracker(experiment, app)
+        else:
+            tracker = _default_tracker(experiment, app,
+                                       backend_factory=backend_factory)
         try:
             _run_app(experiment, app, tracker, results, dispatches,
                      on_progress)

@@ -16,10 +16,20 @@ Exposes the FlipTracker pipeline for interactive exploration:
 ``dot``        DDDG DOT export of a region instance (Graphviz)
 ``sample``     Leveugle sample-size calculator (Section IV-C)
 ``serve``      run a TCP shard server for ``--backend socket`` clients
-               (campaign ``RUN`` and traced ``ANALYZE`` jobs alike)
+               (campaign ``RUN`` and traced ``ANALYZE`` jobs alike);
+               ``--registry`` joins the service tier dynamically
 ``run``        execute a declarative experiment spec file (JSON; see
                ``docs/experiments.md``) with batched dispatches over
                any ``--backend``; ``--json`` emits the result envelope
+``registry``   run the service control plane: host registry +
+               capacity-aware scheduler + persistent job queue
+               (``docs/service.md``)
+``submit``     queue an experiment spec on the registry's job queue;
+               prints the job id
+``jobs``       list the registry's jobs and their states
+``watch``      stream a queued job's progress events until it finishes
+``fetch``      print a finished job's result envelope
+               (``--canonical`` for the cross-backend byte-stable form)
 =============  =============================================================
 
 Every command is deterministic under ``--seed``.  The engine flags
@@ -52,7 +62,8 @@ def _tracker(args) -> FlipTracker:
     return FlipTracker(program, seed=args.seed, workers=args.workers,
                        cache_dir=args.cache_dir, resume=args.resume,
                        shard_size=args.shard_size, backend=args.backend,
-                       backend_addr=args.backend_addr)
+                       backend_addr=args.backend_addr,
+                       registry=args.registry)
 
 
 def cmd_apps(args) -> int:
@@ -250,8 +261,18 @@ def cmd_run(args) -> int:
     if args.progress:
         def on_progress(event):  # noqa: E306 - tiny local callback
             print(f"  {event}", file=sys.stderr)
+    backend_factory = None
+    if args.registry is not None:
+        # substrate override, not spec state: the spec file stays the
+        # artifact of record and the envelope stays byte-identical
+        from repro.engine.backends import SocketBackend
+        registry = args.registry
+
+        def backend_factory():  # noqa: E306 - tiny local factory
+            return SocketBackend(registry=registry)
     try:
-        result = run_experiment(experiment, on_progress=on_progress)
+        result = run_experiment(experiment, on_progress=on_progress,
+                                backend_factory=backend_factory)
     except (KeyError, IndexError) as exc:
         # bad target coordinates (region name, instance, iteration)
         # surfaced by spec compilation — a spec problem, not a crash
@@ -304,16 +325,112 @@ def _apply_engine_overrides(experiment, args):
 def cmd_serve(args) -> int:
     from repro.engine.backends import ShardServer
     program = REGISTRY.build(args.app)
-    server = ShardServer(program, host=args.host, port=args.port)
+    server = ShardServer(program, host=args.host, port=args.port,
+                         registry=args.registry, capacity=args.capacity,
+                         advertise_host=args.advertise_host)
     # the "serving" line marks readiness; scripts wait for it
     print(f"serving {args.app} fp={server.fingerprint} "
-          f"on {server.host}:{server.port}", flush=True)
+          f"on {server.host}:{server.port}"
+          + (f" registry={args.registry}" if args.registry else ""),
+          flush=True)
     try:
         server.serve_forever()
     except KeyboardInterrupt:  # pragma: no cover - interactive stop
         pass
     finally:
         server.stop()
+    return 0
+
+
+def cmd_registry(args) -> int:
+    from repro.service import ServiceDaemon
+    daemon = ServiceDaemon(host=args.host, port=args.port,
+                           spill_dir=args.spill_dir, ttl=args.ttl)
+    # the "registry" line marks readiness; scripts wait for it
+    print(f"registry on {daemon.host}:{daemon.port} "
+          f"ttl={daemon.registry.ttl}", flush=True)
+    try:
+        daemon.serve_forever()
+    except KeyboardInterrupt:  # pragma: no cover - interactive stop
+        pass
+    finally:
+        daemon.stop()
+    return 0
+
+
+def _service_client(args):
+    from repro.service import DEFAULT_REGISTRY_PORT, RegistryClient
+    address = args.registry or f"127.0.0.1:{DEFAULT_REGISTRY_PORT}"
+    return RegistryClient(address)
+
+
+def cmd_submit(args) -> int:
+    import json
+
+    from repro.service import RegistryError
+    try:
+        with open(args.spec) as fh:
+            payload = json.load(fh)
+    except (OSError, ValueError) as exc:
+        print(f"cannot read spec: {exc}", file=sys.stderr)
+        return 1
+    try:
+        reply = _service_client(args).submit(payload)
+    except RegistryError as exc:
+        print(f"rejected ({exc.code}): {exc}", file=sys.stderr)
+        return 1
+    except OSError as exc:
+        print(f"cannot reach registry: {exc}", file=sys.stderr)
+        return 1
+    print(reply["id"])
+    return 0
+
+
+def cmd_jobs(args) -> int:
+    try:
+        jobs = _service_client(args).jobs()
+    except OSError as exc:
+        print(f"cannot reach registry: {exc}", file=sys.stderr)
+        return 1
+    rows = [[job["id"], job.get("name", ""), job["state"],
+             job.get("error", "")] for job in jobs]
+    print(format_table(["Job", "Name", "State", "Error"], rows,
+                       title="service job queue"))
+    return 0
+
+
+def cmd_watch(args) -> int:
+    from repro.service import RegistryError
+
+    def on_event(event):
+        print(f"  {event}", file=sys.stderr)
+
+    try:
+        final = _service_client(args).watch(args.id, on_event=on_event)
+    except RegistryError as exc:
+        print(f"watch failed ({exc.code}): {exc}", file=sys.stderr)
+        return 1
+    except OSError as exc:
+        print(f"cannot reach registry: {exc}", file=sys.stderr)
+        return 1
+    print(f"{final['id']}: {final['state']}"
+          + (f" ({final['error']})" if final.get("error") else ""))
+    return 0 if final["state"] == "done" else 1
+
+
+def cmd_fetch(args) -> int:
+    from repro.api import ExperimentResult
+    from repro.service import RegistryError
+    try:
+        envelope = _service_client(args).fetch(args.id)
+    except RegistryError as exc:
+        print(f"fetch failed ({exc.code}): {exc}", file=sys.stderr)
+        return 1
+    except OSError as exc:
+        print(f"cannot reach registry: {exc}", file=sys.stderr)
+        return 1
+    result = ExperimentResult.from_dict(envelope)
+    print(result.to_json(indent=2, provenance=not args.canonical))
     return 0
 
 
@@ -363,6 +480,12 @@ def build_parser() -> argparse.ArgumentParser:
                    help="shard server address(es) for --backend socket "
                         "(default 127.0.0.1:7453; start one with "
                         "'repro serve <app>')")
+    p.add_argument("--registry", default=None, metavar="HOST:PORT",
+                   help="service registry address: execution commands "
+                        "resolve shard servers through it (implies "
+                        "--backend socket; see 'repro registry'), and "
+                        "the service commands submit/jobs/watch/fetch "
+                        "talk to it (default 127.0.0.1:7460)")
     p.add_argument("--exec-tier", choices=("interp", "compiled"),
                    default=None,
                    help="VM execution tier (sets REPRO_EXEC for this "
@@ -442,6 +565,52 @@ def build_parser() -> argparse.ArgumentParser:
     sp.add_argument("--host", default="127.0.0.1")
     sp.add_argument("--port", type=int, default=7453,
                     help="listen port (0 = ephemeral, printed on start)")
+    # SUPPRESS so the subcommand flag never clobbers a value given at
+    # the root (`repro --registry ... serve` and `repro serve
+    # --registry ...` are both accepted and equivalent)
+    sp.add_argument("--registry", metavar="HOST:PORT",
+                    default=argparse.SUPPRESS,
+                    help="registry to join (heartbeats capacity and "
+                         "in-flight load; see docs/service.md)")
+    sp.add_argument("--capacity", type=_positive_int, default=1,
+                    help="worker slots to advertise to the registry "
+                         "(scheduler opens up to this many connections)")
+    sp.add_argument("--advertise-host", default=None, metavar="HOST",
+                    help="address peers should dial, when it differs "
+                         "from --host (0.0.0.0 binds, NAT, containers)")
+
+    sp = sub.add_parser(
+        "registry", help="service control plane: registry + scheduler "
+                         "inputs + persistent job queue")
+    sp.add_argument("--host", default="127.0.0.1")
+    sp.add_argument("--port", type=int, default=7460,
+                    help="listen port (0 = ephemeral, printed on start)")
+    sp.add_argument("--spill-dir", default=None, metavar="DIR",
+                    help="persist the job queue to DIR/jobs.jsonl so a "
+                         "restarted registry resumes every job")
+    sp.add_argument("--ttl", type=float, default=10.0,
+                    help="seconds without a heartbeat before a shard "
+                         "server is expired (default 10)")
+
+    sp = sub.add_parser(
+        "submit", help="queue an experiment spec on the service; "
+                       "prints the job id")
+    sp.add_argument("spec", help="path to an Experiment JSON file "
+                                 "(schema: docs/experiments.md)")
+
+    sub.add_parser("jobs", help="list the service's jobs")
+
+    sp = sub.add_parser(
+        "watch", help="stream a job's progress until it finishes")
+    sp.add_argument("id", help="job id from 'repro submit'")
+
+    sp = sub.add_parser(
+        "fetch", help="print a finished job's result envelope (JSON)")
+    sp.add_argument("id", help="job id from 'repro submit'")
+    sp.add_argument("--canonical", action="store_true",
+                    help="strip timings/backend provenance so the "
+                         "output is byte-identical across backends and "
+                         "worker counts (golden-file mode)")
 
     sp = sub.add_parser(
         "run", help="execute a declarative experiment spec (JSON)")
@@ -466,11 +635,21 @@ _HANDLERS = {
     "campaign": cmd_campaign, "patterns": cmd_patterns,
     "rates": cmd_rates, "dot": cmd_dot,
     "sample": cmd_sample, "serve": cmd_serve, "run": cmd_run,
+    "registry": cmd_registry, "submit": cmd_submit, "jobs": cmd_jobs,
+    "watch": cmd_watch, "fetch": cmd_fetch,
 }
 
 
 def main(argv: Optional[Sequence[str]] = None) -> int:
-    args = build_parser().parse_args(argv)
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    if args.registry is not None and args.backend_addr is not None:
+        parser.error("--registry and --backend-addr are mutually "
+                     "exclusive (the registry resolves the addresses)")
+    if args.registry is not None and args.backend is None:
+        # naming a registry is choosing remote dispatch; an explicit
+        # --backend still wins (e.g. force local for a quick check)
+        args.backend = "socket"
     if args.exec_tier is not None:
         # the environment variable is the tier's cross-process channel:
         # pool workers and spec-runner engines all inherit it (workers

@@ -98,6 +98,10 @@ class FlipTracker:
     backend_addr:
         ``"host:port[,host:port...]"`` of running shard servers, for
         ``backend="socket"``.
+    registry:
+        Service-registry address (``"host:port"``) or resolver for
+        registry-resolved shard placement (implies ``socket`` when
+        ``backend`` is unset); see :mod:`repro.service`.
     exec_tier:
         VM execution tier for every run this tracker performs (golden
         trace, traced analyses, campaign shards):
@@ -108,7 +112,7 @@ class FlipTracker:
     def __init__(self, program: Program, seed: int = 1234,
                  workers: int = 1, *, cache_dir: Optional[str] = None,
                  resume: bool = True, shard_size: int = 64,
-                 backend=None, backend_addr=None,
+                 backend=None, backend_addr=None, registry=None,
                  exec_tier: Optional[str] = None):
         self.program = program
         self.seed = seed
@@ -118,6 +122,7 @@ class FlipTracker:
         self.shard_size = shard_size
         self.backend = backend
         self.backend_addr = backend_addr
+        self.registry = registry
         self.exec_tier = exec_tier
         self._engine: Optional[ExecutionEngine] = None
         self._ff: Optional[Trace] = None
@@ -136,7 +141,7 @@ class FlipTracker:
                 self.program, workers=self.workers,
                 cache_dir=self.cache_dir, resume=self.resume,
                 shard_size=self.shard_size, backend=self.backend,
-                backend_addr=self.backend_addr,
+                backend_addr=self.backend_addr, registry=self.registry,
                 exec_tier=self.exec_tier)
             self._engine.bind_tracker(self)
         return self._engine

@@ -53,14 +53,16 @@ BackendSpec = Union[None, str, Backend]
 
 
 def resolve_backend(spec: BackendSpec = None, *,
-                    addresses=None) -> Backend:
+                    addresses=None, registry=None) -> Backend:
     """Turn a backend spec (name, instance or ``None``) into an instance.
 
-    ``addresses`` only applies to the ``socket`` backend (ignored with
-    a pre-built instance, which already carries its own addresses).
+    ``addresses`` and ``registry`` only apply to the ``socket``
+    backend (ignored with a pre-built instance, which already carries
+    its own address source).  ``registry`` alone implies ``socket``:
+    naming a registry *is* choosing remote dispatch.
     """
     if spec is None:
-        spec = "local"
+        spec = "socket" if registry is not None else "local"
     if isinstance(spec, Backend):
         return spec
     try:
@@ -70,7 +72,7 @@ def resolve_backend(spec: BackendSpec = None, *,
             f"unknown backend {spec!r}; expected one of "
             f"{sorted(BACKENDS)} or a Backend instance") from None
     if cls is SocketBackend:
-        return SocketBackend(addresses)
+        return SocketBackend(addresses, registry=registry)
     return cls()
 
 

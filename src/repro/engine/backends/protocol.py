@@ -45,6 +45,16 @@ The same frames travel over a forked worker's socketpair
 (:class:`~repro.engine.backends.aio.AsyncBackend`) and over TCP
 (:class:`~repro.engine.backends.remote.SocketBackend` +
 :class:`~repro.engine.backends.server.ShardServer`).
+
+Version 3 extends the vocabulary with the **service tier** ops
+(:mod:`repro.service`): shard servers join a registry with
+``register``/``heartbeat``/``leave`` (the ``register`` frame doubles
+as the handshake on a registry link, carrying ``pv``/``v``/``fp``),
+schedulers resolve live hosts with ``resolve`` -> ``hosts``, and the
+persistent job queue speaks ``submit``/``jobs``/``watch``/``fetch``
+with their ``job``/``joblist``/``event``/``fetched`` replies.  Every
+service request carries the ``pv``/``v`` pair so mixed versions refuse
+each other exactly like the shard handshake does.
 """
 
 from __future__ import annotations
@@ -61,9 +71,11 @@ _HEADER = struct.Struct(">I")
 #: Wire-protocol revision, independent of :data:`KEY_VERSION` (which
 #: governs the cache-key encoding).  Bumped whenever the frame
 #: vocabulary changes; v1 was the PR-2 RUN-only protocol, v2 added the
-#: ANALYZE op, the ``pv`` handshake field and error codes.  The
-#: handshake and ``docs/protocol.md`` both reference this constant.
-PROTOCOL_VERSION = 2
+#: ANALYZE op, the ``pv`` handshake field and error codes, v3 added
+#: the service ops (registry membership, host resolution and the
+#: persistent job queue).  The handshake and ``docs/protocol.md`` both
+#: reference this constant.
+PROTOCOL_VERSION = 3
 
 #: refuse absurd frames instead of allocating gigabytes on a bad peer
 MAX_FRAME = 64 * 1024 * 1024
@@ -77,9 +89,30 @@ OP_ANALYZED = "analyzed"
 OP_ERROR = "error"
 OP_BYE = "bye"
 
+# v3 service ops: registry membership + host resolution
+OP_REGISTER = "register"
+OP_REGISTERED = "registered"
+OP_HEARTBEAT = "heartbeat"
+OP_LEAVE = "leave"
+OP_ACK = "ack"
+OP_RESOLVE = "resolve"
+OP_HOSTS = "hosts"
+
+# v3 service ops: persistent job queue
+OP_SUBMIT = "submit"
+OP_JOBS = "jobs"
+OP_WATCH = "watch"
+OP_FETCH = "fetch"
+OP_JOB = "job"
+OP_JOBLIST = "joblist"
+OP_EVENT = "event"
+OP_FETCHED = "fetched"
+
 #: every op either side may put in a frame (docs drift-check anchor)
 OPS = (OP_HELLO, OP_RUN, OP_ANALYZE, OP_RESULT, OP_ANALYZED, OP_ERROR,
-       OP_BYE)
+       OP_BYE, OP_REGISTER, OP_REGISTERED, OP_HEARTBEAT, OP_LEAVE,
+       OP_ACK, OP_RESOLVE, OP_HOSTS, OP_SUBMIT, OP_JOBS, OP_WATCH,
+       OP_FETCH, OP_JOB, OP_JOBLIST, OP_EVENT, OP_FETCHED)
 
 # ---------------------------------------------------------- error codes
 ERR_PROTOCOL_VERSION = "protocol-version-mismatch"
@@ -88,10 +121,17 @@ ERR_FINGERPRINT = "fingerprint-mismatch"
 ERR_BAD_OP = "bad-op"
 ERR_EXEC = "exec-failed"
 
+# v3 service error codes
+ERR_UNKNOWN_HOST = "unknown-host"
+ERR_UNKNOWN_JOB = "unknown-job"
+ERR_BAD_SPEC = "bad-spec"
+ERR_JOB_FAILED = "job-failed"
+
 #: every ``code`` a rejection/error frame may carry (docs drift-check
 #: anchor)
 ERROR_CODES = (ERR_PROTOCOL_VERSION, ERR_KEY_VERSION, ERR_FINGERPRINT,
-               ERR_BAD_OP, ERR_EXEC)
+               ERR_BAD_OP, ERR_EXEC, ERR_UNKNOWN_HOST, ERR_UNKNOWN_JOB,
+               ERR_BAD_SPEC, ERR_JOB_FAILED)
 
 
 class ProtocolError(RuntimeError):
@@ -308,6 +348,39 @@ def decode_analysis_results(reply: dict, n_plans: int
             raise ProtocolError(f"malformed analyzed entry: {entry!r}")
         decoded.append((entry["m"], entry["patterns"]))
     return decoded
+
+
+# ---------------------------------------------------------- service frames
+def service_request(op: str, **fields) -> dict:
+    """A v3 service frame: ``op`` plus the ``pv``/``v`` version pair.
+
+    Every service request (``register``, ``resolve``, ``submit``, ...)
+    carries the versions so a registry/daemon speaking a different
+    protocol or cache-key encoding refuses the request exactly like
+    the shard handshake would.
+    """
+    frame = {"op": op, "pv": PROTOCOL_VERSION, "v": KEY_VERSION}
+    frame.update(fields)
+    return frame
+
+
+def check_service_versions(msg: dict) -> Optional[dict]:
+    """Validate a service request's version pair.
+
+    Returns ``None`` when the versions match, otherwise the rejection
+    frame (an ``ack`` with ``ok: false`` and the machine-readable
+    ``code``) the caller should send before closing the connection.
+    """
+    if msg.get("pv") != PROTOCOL_VERSION:
+        return {"op": OP_ACK, "ok": False, "code": ERR_PROTOCOL_VERSION,
+                "error": f"protocol-version mismatch: client "
+                         f"{msg.get('pv')!r} != server "
+                         f"{PROTOCOL_VERSION}"}
+    if msg.get("v") != KEY_VERSION:
+        return {"op": OP_ACK, "ok": False, "code": ERR_KEY_VERSION,
+                "error": f"key-version mismatch: client "
+                         f"{msg.get('v')!r} != server {KEY_VERSION}"}
+    return None
 
 
 def decode_run_values(reply: dict, n_plans: int) -> list:

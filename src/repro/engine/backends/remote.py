@@ -21,6 +21,24 @@ hold their own build of the program; the backend:
   failure of the same shard is fatal (:class:`EngineError`), never a
   silent gap.
 
+Addresses come from either of two sources:
+
+* a **static list** (``--backend-addr``), connected once per session,
+  one connection per address — the original PR-2 behavior; or
+* a **registry** (``registry=``, see :mod:`repro.service`): the
+  backend resolves the live hosts serving the engine's program
+  fingerprint and opens capacity-aware connections per the
+  scheduler's placement (:func:`~repro.service.scheduler.
+  plan_placement`).  Resolution repeats at every dispatch, so servers
+  that joined since the last shard group are picked up and hosts that
+  expired are dropped.  A host that fails its single retry is
+  **quarantined** for the rest of the backend session — the scheduler
+  cannot re-pick it for the next shard group — and a host lost
+  mid-dispatch is **re-placed**: the dying connection thread resolves
+  a replacement host and carries on, so a killed server costs one
+  retry, not the campaign.  With no live host at all the backend
+  falls back to local execution exactly like an empty static list.
+
 Untraced campaign shards (``run`` frames) and traced pattern analyses
 (``analyze`` frames) travel the same machinery — handshake, retry,
 failover and fallback are identical for both, so a `region_patterns`
@@ -28,7 +46,8 @@ sweep scales across shard servers exactly like a campaign.
 
 Completions arrive out of order across connections and are reassembled
 into shard order before the engine sees them, preserving byte-parity
-with ``workers=1``.
+with ``workers=1`` — and with the static-address path: placement never
+changes results, only where they were computed.
 """
 
 from __future__ import annotations
@@ -123,60 +142,163 @@ class _Connection:
 
 
 class SocketBackend(Backend):
-    """TCP shard client with handshake, retry, failover and fallback."""
+    """TCP shard client with handshake, retry, failover and fallback.
+
+    ``addresses`` is the static host list; ``registry`` (an address
+    spec or any object with a ``resolve(fingerprint)`` method, e.g. a
+    :class:`~repro.service.registry.HostRegistry` in-process or a
+    :class:`~repro.service.registry.RegistryClient` over the wire)
+    switches the backend to registry-resolved, capacity-aware
+    placement.  The two are mutually exclusive.
+    """
 
     name = "socket"
 
-    def __init__(self, addresses=None, *, fallback: bool = True):
+    def __init__(self, addresses=None, *, fallback: bool = True,
+                 registry=None):
         super().__init__()
-        self.addresses = parse_addresses(addresses)
+        if registry is not None and addresses is not None:
+            raise ValueError("pass either a static address list or a "
+                             "registry, not both")
+        self.registry = registry
+        self.addresses = [] if registry is not None \
+            else parse_addresses(addresses)
         self.fallback = fallback
         self._connections: list[_Connection] = []
         self._fallback_backend: Optional[Backend] = None
         self._started = False
+        #: hosts that failed their single retry this session; the
+        #: scheduler must not re-pick them for a later shard group
+        self._quarantined: set[tuple[str, int]] = set()
+        self._conn_lock = threading.Lock()
 
     # ------------------------------------------------------------ lifecycle
-    def _ensure_started(self) -> None:
-        """Connect + handshake once; decide fallback; lazy on first use."""
-        if self._started:
-            return
+    def _resolver(self):
+        """The live-host resolver behind ``registry`` (lazy client)."""
+        if hasattr(self.registry, "resolve"):
+            return self.registry
+        from repro.service.registry import RegistryClient
+        self.registry = RegistryClient(self.registry)
+        return self.registry
+
+    def _ensure_started(self, n_shards: Optional[int] = None) -> None:
+        """Connect + handshake; decide fallback; lazy on first use.
+
+        Static addresses connect once per session.  A registry is
+        re-resolved at *every* dispatch (dynamic membership): newly
+        joined hosts gain connections, quarantined hosts are skipped,
+        and the capacity-aware placement is sized by this dispatch's
+        shard count.
+        """
+        first = not self._started
         self._started = True
-        refused: list[str] = []
-        for address in self.addresses:
-            try:
-                self._connections.append(
-                    _Connection(address, self.engine.program_fp))
-            except protocol.ProtocolError as exc:
-                # the server answered and said no (fingerprint/version
-                # mismatch): running locally would mask a real bug
-                self._close_connections()
-                raise EngineError(
-                    f"shard server {address[0]}:{address[1]} rejected "
-                    f"handshake: {exc}") from exc
-            except OSError as exc:
-                refused.append(f"{address[0]}:{address[1]} ({exc})")
+        if self._fallback_backend is not None:
+            return
+        if self.registry is not None:
+            self._connect_registry(n_shards)
+        elif first:
+            refused: list[str] = []
+            for address in self.addresses:
+                try:
+                    self._connections.append(
+                        _Connection(address, self.engine.program_fp))
+                except protocol.ProtocolError as exc:
+                    # the server answered and said no (fingerprint/
+                    # version mismatch): running locally would mask a
+                    # real bug
+                    self._close_connections()
+                    raise EngineError(
+                        f"shard server {address[0]}:{address[1]} "
+                        f"rejected handshake: {exc}") from exc
+                except OSError as exc:
+                    refused.append(f"{address[0]}:{address[1]} ({exc})")
+            if not self._connections:
+                self._enter_fallback("; ".join(refused))
+
+    def _connect_registry(self, n_shards: Optional[int]) -> None:
+        """Reconcile connections with the scheduler's placement.
+
+        Hosts that left the placement since the last dispatch —
+        expired, departed, or quarantined — are disconnected; placed
+        hosts are topped up to their connection count.
+        """
+        from repro.service.scheduler import plan_placement
+        try:
+            hosts = self._resolver().resolve(self.engine.program_fp)
+        except (OSError, protocol.ProtocolError) as exc:
+            hosts = []
+            detail = f"registry unreachable ({exc})"
+        else:
+            detail = "registry has no live host for this program"
+        placements = plan_placement(hosts, n_shards,
+                                    exclude=sorted(self._quarantined))
+        placed = {p.address for p in placements}
+        with self._conn_lock:
+            stale = [c for c in self._connections
+                     if c.address not in placed]
+            self._connections = [c for c in self._connections
+                                 if c.address in placed]
+            have: dict[tuple[str, int], int] = {}
+            for conn in self._connections:
+                have[conn.address] = have.get(conn.address, 0) + 1
+        for conn in stale:
+            conn.close()
+        for placement in placements:
+            missing = placement.connections \
+                - have.get(placement.address, 0)
+            for _ in range(missing):
+                conn = self._connect_host(placement.address)
+                if conn is None:
+                    break  # stale registry entry, now quarantined
+                with self._conn_lock:
+                    self._connections.append(conn)
         if not self._connections:
-            if not self.fallback:
-                raise EngineError("no shard server reachable: "
-                                  + "; ".join(refused))
-            warnings.warn(
-                "no shard server reachable ("
-                + "; ".join(refused)
-                + "); falling back to LocalPoolBackend",
-                RuntimeWarning, stacklevel=5)
-            self._fallback_backend = self.engine.local_backend
+            self._enter_fallback(detail)
+
+    def _connect_host(self,
+                      address: tuple[str, int]) -> Optional[_Connection]:
+        """One registry-placed connection; quarantine on refusal."""
+        try:
+            return _Connection(address, self.engine.program_fp)
+        except protocol.ProtocolError as exc:
+            # an answering server that rejects the handshake is a hard
+            # error, registry-resolved or not: it would poison the cache
+            self._close_connections()
+            raise EngineError(
+                f"shard server {address[0]}:{address[1]} rejected "
+                f"handshake: {exc}") from exc
+        except OSError:
+            # the registry believes in this host but nothing answers
+            # (crashed between heartbeats): quarantine it so neither
+            # this nor a later shard group re-picks it before it
+            # re-registers through a live process
+            self._quarantined.add(address)
+            return None
+
+    def _enter_fallback(self, reason: str) -> None:
+        if not self.fallback:
+            raise EngineError(f"no shard server reachable: {reason}")
+        warnings.warn(
+            f"no shard server reachable ({reason}); falling back to "
+            f"LocalPoolBackend", RuntimeWarning, stacklevel=6)
+        self._fallback_backend = self.engine.local_backend
 
     def close(self) -> None:
         self._close_connections()
         # a pre-built instance may be handed to a fresh engine later:
-        # reconnect (and re-decide fallback) on next use
+        # reconnect (re-resolve, re-decide fallback) on next use —
+        # quarantine is per-session, so a recovered host is eligible
+        # again after close()
         self._started = False
         self._fallback_backend = None
+        self._quarantined.clear()
 
     def _close_connections(self) -> None:
-        for conn in self._connections:
+        with self._conn_lock:
+            connections = list(self._connections)
+            self._connections.clear()
+        for conn in connections:
             conn.close()
-        self._connections.clear()
 
     # ------------------------------------------------------------ shards
     def run_shards(self, shards: Sequence[Sequence[FaultPlan]],
@@ -201,7 +323,7 @@ class SocketBackend(Backend):
         ``fallback_op`` names the equivalent local-backend method."""
         if not shards:
             return
-        self._ensure_started()
+        self._ensure_started(len(shards))
         if self._fallback_backend is not None:
             yield from getattr(self._fallback_backend, fallback_op)(
                 shards, max_instr)
@@ -211,11 +333,13 @@ class SocketBackend(Backend):
             pending.put((index, plans, 0))
         results: queue.Queue = queue.Queue()
         stop = threading.Event()
+        with self._conn_lock:
+            connections = list(self._connections)
         threads = [threading.Thread(
             target=self._serve_connection,
             args=(conn, pending, results, stop, max_instr, runner),
             daemon=True)
-            for conn in list(self._connections)]
+            for conn in connections]
         for thread in threads:
             thread.start()
         try:
@@ -277,16 +401,52 @@ class SocketBackend(Backend):
                 return
 
     def _reconnect(self, dead: _Connection) -> Optional[_Connection]:
-        """One reconnect attempt for a failed connection."""
+        """One reconnect attempt for a failed connection.
+
+        When the host does not come back it is quarantined for the
+        rest of this backend session — without this, a registry that
+        still lists the host (heartbeat not yet expired) would hand it
+        straight back to the scheduler on the next shard group, and
+        the next dispatch would burn its retries on the same corpse.
+        With a registry configured the thread then **re-places**
+        itself: it resolves a replacement host (excluding quarantined
+        and already-connected addresses) and keeps pulling shards, so
+        losing a server mid-campaign costs one retry, not a worker.
+        """
         try:
             dead.sock.close()
         except OSError:
             pass
-        if dead in self._connections:
-            self._connections.remove(dead)
+        with self._conn_lock:
+            if dead in self._connections:
+                self._connections.remove(dead)
         try:
             conn = _Connection(dead.address, dead.fingerprint)
         except (OSError, protocol.ProtocolError):
-            return None
-        self._connections.append(conn)
+            self._quarantined.add(dead.address)
+            conn = self._replacement_connection()
+            if conn is None:
+                return None
+        with self._conn_lock:
+            self._connections.append(conn)
         return conn
+
+    def _replacement_connection(self) -> Optional[_Connection]:
+        """Registry re-placement for a thread that lost its host."""
+        if self.registry is None:
+            return None
+        from repro.service.scheduler import plan_placement
+        try:
+            hosts = self._resolver().resolve(self.engine.program_fp)
+        except (OSError, protocol.ProtocolError):
+            return None  # registry gone too; other threads may survive
+        with self._conn_lock:
+            exclude = self._quarantined | \
+                {conn.address for conn in self._connections}
+        for placement in plan_placement(hosts, 1, exclude=sorted(exclude)):
+            try:
+                return _Connection(placement.address,
+                                   self.engine.program_fp)
+            except (OSError, protocol.ProtocolError):
+                self._quarantined.add(placement.address)
+        return None

@@ -26,10 +26,21 @@ tracker's lazy caches race-free.
 Tests (and embedders) use :meth:`ShardServer.start` /
 :meth:`ShardServer.stop` to run the accept loop on a background
 thread; ``port=0`` binds an ephemeral port exposed as ``.port``.
+
+With ``registry=`` the server additionally **joins the service tier**
+(:mod:`repro.service`): it registers its program fingerprint and
+advertised capacity, heartbeats every ``heartbeat_interval`` seconds
+carrying its in-flight shard count (the scheduler's load signal),
+re-registers when the registry answers ``unknown-host`` (expiry or a
+registry restart — join is idempotent), and sends ``leave`` on a clean
+:meth:`stop`.  An unreachable registry never takes the server down:
+the join loop just keeps retrying, and shard clients that hold direct
+connections are unaffected.
 """
 
 from __future__ import annotations
 
+import contextlib
 import socket
 import threading
 
@@ -37,12 +48,17 @@ from repro.engine.backends import protocol
 from repro.engine.backends.remote import DEFAULT_PORT
 from repro.engine.keys import program_fingerprint
 
+_HEARTBEAT_INTERVAL_S = 2.0
+
 
 class ShardServer:
     """Threaded shard-protocol server for one built program."""
 
     def __init__(self, program, host: str = "127.0.0.1",
-                 port: int = DEFAULT_PORT):
+                 port: int = DEFAULT_PORT, *,
+                 registry=None, capacity: int = 1,
+                 advertise_host: str | None = None,
+                 heartbeat_interval: float = _HEARTBEAT_INTERVAL_S):
         self.program = program
         self.fingerprint = program_fingerprint(program)
         self._listener = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
@@ -50,20 +66,86 @@ class ShardServer:
         self._listener.bind((host, port))
         self._listener.listen()
         self.host, self.port = self._listener.getsockname()[:2]
+        #: the (host, port) peers should dial — differs from the bind
+        #: address when listening on 0.0.0.0 behind NAT or containers
+        self.advertise = (advertise_host or self.host, self.port)
+        self.capacity = capacity
+        self.registry = registry
+        self.heartbeat_interval = heartbeat_interval
+        self._registry_client = None
+        self._registry_thread: threading.Thread | None = None
         self._stopping = threading.Event()
         self._accept_thread: threading.Thread | None = None
         self._conn_threads: list[threading.Thread] = []
         self._tracker = None
         self._analysis_lock = threading.Lock()
+        self._inflight_lock = threading.Lock()
+        self._inflight = 0
         # observability for tests and ops logs
         self.connections = 0
         self.rejected = 0
         self.shards_served = 0
         self.analyses_served = 0
+        self.heartbeats = 0
+
+    # ------------------------------------------------------------ registry
+    def _registry_loop(self) -> None:
+        """Join the registry, then heartbeat until stopped.
+
+        Every iteration tolerates a dead or restarted registry: an
+        ``unknown-host`` heartbeat answer (we expired, or the registry
+        lost its state) falls through to a fresh register on the next
+        pass, and transport errors are retried at the same cadence.
+        """
+        from repro.service.registry import RegistryClient, RegistryError
+        client = RegistryClient(self.registry)
+        self._registry_client = client
+        registered = False
+        while not self._stopping.is_set():
+            try:
+                if not registered:
+                    client.register(host=self.advertise[0],
+                                    port=self.advertise[1],
+                                    fingerprint=self.fingerprint,
+                                    capacity=self.capacity)
+                    registered = True
+                else:
+                    with self._inflight_lock:
+                        inflight = self._inflight
+                    registered = client.heartbeat(
+                        host=self.advertise[0], port=self.advertise[1],
+                        inflight=inflight)
+                    self.heartbeats += 1
+            except RegistryError:
+                # in-band rejection (e.g. another live server owns our
+                # address under a different fingerprint): keep retrying
+                # — once it leaves or expires, our register lands
+                registered = False
+            except (OSError, protocol.ProtocolError):
+                registered = False  # registry down; rejoin when it's back
+            self._stopping.wait(self.heartbeat_interval)
+
+    def _start_registry(self) -> None:
+        if self.registry is not None and self._registry_thread is None:
+            self._registry_thread = threading.Thread(
+                target=self._registry_loop, daemon=True)
+            self._registry_thread.start()
+
+    def _leave_registry(self) -> None:
+        if self._registry_thread is not None:
+            self._registry_thread.join(
+                timeout=self.heartbeat_interval + 1.0)
+        if self._registry_client is not None:
+            try:
+                self._registry_client.leave(host=self.advertise[0],
+                                            port=self.advertise[1])
+            except Exception:
+                pass  # best-effort: expiry reclaims the record anyway
 
     # ------------------------------------------------------------ serving
     def serve_forever(self) -> None:
         """Blocking accept loop (the CLI entry point)."""
+        self._start_registry()
         while not self._stopping.is_set():
             try:
                 conn, _addr = self._listener.accept()
@@ -87,6 +169,7 @@ class ShardServer:
 
     def stop(self) -> None:
         self._stopping.set()
+        self._leave_registry()
         self._listener.close()
         if self._accept_thread is not None:
             self._accept_thread.join(timeout=2.0)
@@ -126,17 +209,29 @@ class ShardServer:
         """
         op = msg.get("op")
         if op == protocol.OP_RUN:
-            result = protocol.execute_request(self.program, msg)
+            with self._count_inflight():
+                result = protocol.execute_request(self.program, msg)
             self.shards_served += 1
             return result
         if op == protocol.OP_ANALYZE:
             tracker = self._analysis_tracker()
-            with self._analysis_lock:
+            with self._count_inflight(), self._analysis_lock:
                 result = protocol.execute_analyze_request(tracker, msg)
             self.analyses_served += 1
             return result
         return {"op": protocol.OP_ERROR, "code": protocol.ERR_BAD_OP,
                 "error": f"unexpected op {op!r}"}
+
+    @contextlib.contextmanager
+    def _count_inflight(self):
+        """Track executing shards — the load the heartbeat advertises."""
+        with self._inflight_lock:
+            self._inflight += 1
+        try:
+            yield
+        finally:
+            with self._inflight_lock:
+                self._inflight -= 1
 
     def _serve_client(self, conn: socket.socket) -> None:
         self.connections += 1

@@ -64,6 +64,11 @@ class ExecutionEngine:
     backend_addr:
         Shard-server address(es) for ``backend="socket"``
         (``"host:port"`` or ``"h1:p1,h2:p2"``; ignored otherwise).
+    registry:
+        Service-registry address (``"host:port"``) or resolver object
+        for registry-resolved shard placement; implies
+        ``backend="socket"`` when ``backend`` is ``None``.  Mutually
+        exclusive with ``backend_addr``.  See :mod:`repro.service`.
     exec_tier:
         VM execution tier for faulty runs (``"interp"``/``"compiled"``);
         ``None`` defers to the ``REPRO_EXEC`` environment variable.
@@ -78,7 +83,7 @@ class ExecutionEngine:
                  cache: Optional[PlanCache] = None,
                  cache_dir: Optional[str] = None, resume: bool = True,
                  shard_size: int = 64, min_parallel: int = 4,
-                 backend=None, backend_addr=None,
+                 backend=None, backend_addr=None, registry=None,
                  exec_tier: Optional[str] = None):
         from repro.engine.backends import (LocalPoolBackend,
                                            resolve_backend)
@@ -100,7 +105,8 @@ class ExecutionEngine:
         self._closed = False
         self.executed = 0      # faulty runs actually performed (parent view)
         self.pool_starts = 0   # pools/worker fleets created over the lifetime
-        self.backend = resolve_backend(backend, addresses=backend_addr)
+        self.backend = resolve_backend(backend, addresses=backend_addr,
+                                       registry=registry)
         self.backend.bind(self)
         # the local pool is the socket backend's no-server fallback
         # (for campaigns and analyses alike), shared so its pool

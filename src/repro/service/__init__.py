@@ -1,0 +1,50 @@
+"""The multi-host experiment service tier.
+
+Everything that turns a fleet of ``repro serve`` shard servers into a
+managed cluster lives here, layered on the shard wire protocol
+(:mod:`repro.engine.backends.protocol`, version 3) and the declarative
+:mod:`repro.api` layer:
+
+:mod:`.registry`
+    Host membership: a :class:`HostRegistry` shard servers join with
+    ``register`` and keep alive with ``heartbeat`` frames (liveness by
+    heartbeat expiry, dynamic join/leave), plus the
+    :class:`RegistryClient` every remote party — servers, schedulers,
+    the CLI — speaks through.
+
+:mod:`.scheduler`
+    Capacity-aware placement: sizes and orders shard-server
+    connections by advertised capacity and live in-flight load
+    (:func:`plan_placement`), consumed by
+    :class:`~repro.engine.backends.remote.SocketBackend` when it is
+    given a registry instead of a static address list.
+
+:mod:`.queue`
+    The persistent job queue: ``Experiment`` specs in, job ids out,
+    every state transition spilled to JSONL so the queue survives a
+    daemon restart.
+
+:mod:`.daemon`
+    The ``repro registry`` process: one TCP listener serving registry
+    membership, host resolution and the job queue, plus the executor
+    thread that runs queued jobs through
+    :func:`~repro.api.runner.run_experiment` on registry-resolved
+    backends.
+
+The normative wire spec is ``docs/protocol.md``; the operational story
+(job lifecycle, scheduler policy) is ``docs/service.md``.
+"""
+
+from __future__ import annotations
+
+from repro.service.daemon import DEFAULT_REGISTRY_PORT, ServiceDaemon
+from repro.service.queue import JOB_STATES, Job, JobQueue
+from repro.service.registry import (HostRecord, HostRegistry,
+                                    RegistryClient, RegistryError)
+from repro.service.scheduler import Placement, plan_placement
+
+__all__ = [
+    "DEFAULT_REGISTRY_PORT", "ServiceDaemon", "JOB_STATES", "Job",
+    "JobQueue", "HostRecord", "HostRegistry", "RegistryClient",
+    "RegistryError", "Placement", "plan_placement",
+]

@@ -1,0 +1,299 @@
+"""Host membership: the registry shard servers join and clients query.
+
+The :class:`HostRegistry` is the in-process state machine — a
+thread-safe table of :class:`HostRecord` entries keyed by
+``(host, port)`` with liveness by **heartbeat expiry**: a record whose
+last heartbeat is older than ``ttl`` seconds is expired lazily on the
+next lookup, so no background reaper thread is needed and tests can
+drive time through an injectable ``clock``.
+
+Rules (mirrored in ``docs/service.md`` and exercised by
+``tests/test_service.py``):
+
+* ``register`` admits a host for one program fingerprint and refreshes
+  an existing live registration with the *same* fingerprint; a live
+  host re-registering under a **different** fingerprint is rejected
+  with ``fingerprint-mismatch`` — it must ``leave`` (or expire) first,
+  because a scheduler that resolved the old fingerprint could
+  otherwise be handed a server running a different program.
+* ``heartbeat`` refreshes liveness and reports the host's in-flight
+  load (scheduler input); a heartbeat from an unknown — typically
+  expired — host answers ``unknown-host``, telling the server to
+  re-register (join is idempotent, so recovery is one frame).
+* ``leave`` removes the record immediately; leave-then-rejoin under
+  the same fingerprint is the normal rolling-restart path.
+* ``resolve`` returns the live hosts serving one fingerprint, ordered
+  by the scheduler's placement policy downstream.
+
+The :class:`RegistryClient` is the wire-side counterpart every remote
+party uses: one short connection per request (registration state lives
+in the registry, not the link), frames built by
+:func:`~repro.engine.backends.protocol.service_request` so the
+``pv``/``v`` version pair gates every conversation.
+"""
+
+from __future__ import annotations
+
+import socket
+import threading
+import time
+from dataclasses import dataclass, field
+from typing import Callable, Optional
+
+from repro.engine.backends import protocol
+
+
+class RegistryError(RuntimeError):
+    """A registry/daemon request was rejected in-band.
+
+    ``code`` carries the machine-readable error code from the reply
+    (one of :data:`~repro.engine.backends.protocol.ERROR_CODES`).
+    """
+
+    def __init__(self, message: str, code: Optional[str] = None):
+        super().__init__(message)
+        self.code = code
+
+
+@dataclass
+class HostRecord:
+    """One registered shard server, as the scheduler sees it."""
+
+    host: str
+    port: int
+    fingerprint: str
+    capacity: int = 1           #: advertised worker slots
+    inflight: int = 0           #: in-flight shards at last heartbeat
+    last_seen: float = 0.0      #: registry-clock time of last contact
+
+    @property
+    def address(self) -> tuple[str, int]:
+        return (self.host, self.port)
+
+    def to_wire(self) -> dict:
+        """JSON image carried in a ``hosts`` reply."""
+        return {"host": self.host, "port": self.port,
+                "fp": self.fingerprint, "capacity": self.capacity,
+                "inflight": self.inflight}
+
+
+class HostRegistry:
+    """Thread-safe host table with heartbeat-expiry liveness."""
+
+    def __init__(self, ttl: float = 10.0,
+                 clock: Callable[[], float] = time.monotonic):
+        if ttl <= 0:
+            raise ValueError("ttl must be > 0")
+        self.ttl = ttl
+        self._clock = clock
+        self._lock = threading.Lock()
+        self._hosts: dict[tuple[str, int], HostRecord] = {}
+        # observability for tests and ops logs
+        self.registrations = 0
+        self.rejections = 0
+        self.expirations = 0
+
+    # ------------------------------------------------------------ membership
+    def register(self, host: str, port: int, fingerprint: str,
+                 capacity: int = 1) -> HostRecord:
+        """Admit (or refresh) a host; raises on fingerprint conflict."""
+        if capacity < 1:
+            raise RegistryError("capacity must be >= 1",
+                                code=protocol.ERR_BAD_OP)
+        with self._lock:
+            self._expire_locked()
+            existing = self._hosts.get((host, port))
+            if existing is not None and \
+                    existing.fingerprint != fingerprint:
+                self.rejections += 1
+                raise RegistryError(
+                    f"{host}:{port} is live with fingerprint "
+                    f"{existing.fingerprint!r}; leave (or expire) before "
+                    f"re-registering as {fingerprint!r}",
+                    code=protocol.ERR_FINGERPRINT)
+            record = HostRecord(host=host, port=port,
+                                fingerprint=fingerprint,
+                                capacity=capacity,
+                                last_seen=self._clock())
+            self._hosts[(host, port)] = record
+            self.registrations += 1
+            return record
+
+    def heartbeat(self, host: str, port: int,
+                  inflight: int = 0) -> bool:
+        """Refresh liveness; ``False`` means unknown (re-register)."""
+        with self._lock:
+            self._expire_locked()
+            record = self._hosts.get((host, port))
+            if record is None:
+                return False
+            record.last_seen = self._clock()
+            record.inflight = max(0, int(inflight))
+            return True
+
+    def leave(self, host: str, port: int) -> bool:
+        """Remove a host immediately; ``False`` if it was not live."""
+        with self._lock:
+            self._expire_locked()
+            return self._hosts.pop((host, port), None) is not None
+
+    # ------------------------------------------------------------ queries
+    def live_hosts(self, fingerprint: Optional[str] = None
+                   ) -> list[HostRecord]:
+        """Live records (optionally for one fingerprint), stable order."""
+        with self._lock:
+            self._expire_locked()
+            records = [r for r in self._hosts.values()
+                       if fingerprint is None
+                       or r.fingerprint == fingerprint]
+        return sorted(records, key=lambda r: r.address)
+
+    def resolve(self, fingerprint: str) -> list[HostRecord]:
+        """The scheduler-facing query: live hosts for one program."""
+        return self.live_hosts(fingerprint)
+
+    def _expire_locked(self) -> None:
+        deadline = self._clock() - self.ttl
+        stale = [key for key, record in self._hosts.items()
+                 if record.last_seen < deadline]
+        for key in stale:
+            del self._hosts[key]
+        self.expirations += len(stale)
+
+
+# ------------------------------------------------------------- wire client
+class RegistryClient:
+    """Client for every service conversation (registry + job queue).
+
+    One short TCP connection per request: the registry holds all the
+    state, so a dropped link costs nothing but the next request's
+    reconnect.  In-band rejections (``ok: false`` or ``error`` frames)
+    raise :class:`RegistryError` with the machine-readable ``code``;
+    transport failures surface as :class:`OSError` for the caller's
+    retry policy.
+    """
+
+    def __init__(self, address, timeout: float = 5.0):
+        from repro.engine.backends.remote import parse_addresses
+        self.address = parse_addresses(address)[0]
+        self.timeout = timeout
+
+    # ------------------------------------------------------------ transport
+    def _connect(self) -> socket.socket:
+        sock = socket.create_connection(self.address,
+                                        timeout=self.timeout)
+        sock.settimeout(self.timeout)
+        return sock
+
+    def _request(self, frame: dict, expect_op: str) -> dict:
+        """One request -> one reply; validates op and in-band status."""
+        sock = self._connect()
+        try:
+            protocol.send_msg(sock, frame)
+            reply = protocol.recv_msg(sock)
+        finally:
+            sock.close()
+        return self._check_reply(reply, expect_op)
+
+    @staticmethod
+    def _check_reply(reply: Optional[dict], expect_op: str) -> dict:
+        if reply is None:
+            raise protocol.ProtocolError(
+                "service closed the connection without replying")
+        if reply.get("op") == protocol.OP_ERROR or \
+                reply.get("ok") is False:
+            raise RegistryError(
+                reply.get("error", f"request rejected: {reply!r}"),
+                code=reply.get("code"))
+        if reply.get("op") != expect_op:
+            raise protocol.ProtocolError(
+                f"expected {expect_op!r} reply, got {reply!r}")
+        return reply
+
+    # ------------------------------------------------------------ membership
+    def register(self, host: str, port: int, fingerprint: str,
+                 capacity: int = 1) -> dict:
+        return self._request(
+            protocol.service_request(protocol.OP_REGISTER, host=host,
+                                     port=port, fp=fingerprint,
+                                     capacity=capacity),
+            protocol.OP_REGISTERED)
+
+    def heartbeat(self, host: str, port: int,
+                  inflight: int = 0) -> bool:
+        """``False`` means the registry forgot us: re-register."""
+        try:
+            self._request(
+                protocol.service_request(protocol.OP_HEARTBEAT,
+                                         host=host, port=port,
+                                         inflight=inflight),
+                protocol.OP_ACK)
+        except RegistryError as exc:
+            if exc.code == protocol.ERR_UNKNOWN_HOST:
+                return False
+            raise
+        return True
+
+    def leave(self, host: str, port: int) -> None:
+        self._request(
+            protocol.service_request(protocol.OP_LEAVE, host=host,
+                                     port=port),
+            protocol.OP_ACK)
+
+    def resolve(self, fingerprint: str) -> list[HostRecord]:
+        reply = self._request(
+            protocol.service_request(protocol.OP_RESOLVE,
+                                     fp=fingerprint),
+            protocol.OP_HOSTS)
+        return [HostRecord(host=h["host"], port=h["port"],
+                           fingerprint=h["fp"],
+                           capacity=h.get("capacity", 1),
+                           inflight=h.get("inflight", 0))
+                for h in reply.get("hosts", ())]
+
+    # ------------------------------------------------------------ job queue
+    def submit(self, spec: dict) -> dict:
+        """Submit an experiment payload -> ``{"id": ..., "state": ...}``."""
+        reply = self._request(
+            protocol.service_request(protocol.OP_SUBMIT, spec=spec),
+            protocol.OP_JOB)
+        return {"id": reply["id"], "state": reply["state"]}
+
+    def jobs(self) -> list[dict]:
+        reply = self._request(
+            protocol.service_request(protocol.OP_JOBS),
+            protocol.OP_JOBLIST)
+        return list(reply.get("jobs", ()))
+
+    def watch(self, job_id: str,
+              on_event: Optional[Callable[[dict], None]] = None) -> dict:
+        """Stream a job's progress events until it reaches a terminal
+        state; returns the final ``job`` frame.  ``on_event`` receives
+        each event payload as it arrives."""
+        sock = self._connect()
+        try:
+            # a watch outlives the request timeout by design: idle gaps
+            # between events are bounded by the job, not the transport
+            sock.settimeout(None)
+            protocol.send_msg(
+                sock, protocol.service_request(protocol.OP_WATCH,
+                                               id=job_id))
+            while True:
+                reply = protocol.recv_msg(sock)
+                if reply is None:
+                    raise protocol.ProtocolError(
+                        "service closed mid-watch")
+                if reply.get("op") == protocol.OP_EVENT:
+                    if on_event is not None:
+                        on_event(reply.get("event", {}))
+                    continue
+                return self._check_reply(reply, protocol.OP_JOB)
+        finally:
+            sock.close()
+
+    def fetch(self, job_id: str) -> dict:
+        """The finished job's full result envelope (with provenance)."""
+        reply = self._request(
+            protocol.service_request(protocol.OP_FETCH, id=job_id),
+            protocol.OP_FETCHED)
+        return reply["result"]

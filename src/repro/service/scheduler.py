@@ -1,0 +1,87 @@
+"""Capacity-aware shard placement over registry-resolved hosts.
+
+The scheduler answers one question for the socket backend: *given the
+live hosts serving this program, how many protocol connections should
+be opened to each, and in what order?*  Its inputs are what hosts
+advertise at ``register`` time (``capacity``, their worker-slot count)
+and what they report on every ``heartbeat`` (``inflight``, shards
+currently executing); its output is a deterministic list of
+:class:`Placement` entries.
+
+Policy (documented normatively in ``docs/service.md``):
+
+* **Least-loaded first.**  Hosts are ordered by their load ratio
+  ``inflight / capacity`` (then by address, so equal loads place
+  deterministically).  Connection threads pull shards from a shared
+  queue, so order only decides who *starts* pulling first — a busy
+  host still contributes, it just isn't preferred.
+* **Size by capacity.**  Each host gets up to ``capacity``
+  connections — a 4-slot host runs 4 shards concurrently while a
+  1-slot host runs 1 — capped by the dispatch's shard count so a tiny
+  campaign does not open idle sockets.
+* **Quarantine is upstream.**  Hosts that already failed their single
+  retry in this backend session never reach the scheduler; the
+  backend filters them before calling :func:`plan_placement` (see
+  ``SocketBackend``), so a flapping server cannot be re-picked for
+  the next shard group.
+
+Placement never affects *results* — the engine assembles by plan
+order, so byte-parity with the static-address path (and with
+``workers=1``) holds whatever the scheduler decides.  It only affects
+wall-clock and robustness.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Optional, Sequence
+
+from repro.service.registry import HostRecord
+
+__all__ = ["Placement", "plan_placement"]
+
+
+@dataclass(frozen=True)
+class Placement:
+    """One host the backend should connect to, with a connection count."""
+
+    address: tuple[str, int]
+    connections: int
+
+    def __post_init__(self) -> None:
+        if self.connections < 1:
+            raise ValueError("a placement needs >= 1 connection")
+
+
+def _load_ratio(record: HostRecord) -> float:
+    return record.inflight / max(1, record.capacity)
+
+
+def plan_placement(hosts: Iterable[HostRecord],
+                   n_shards: Optional[int] = None,
+                   exclude: Sequence[tuple[str, int]] = ()
+                   ) -> list[Placement]:
+    """Size and order connections over ``hosts``.
+
+    ``n_shards`` (when known) caps the *total* connection count — more
+    sockets than shards would sit idle.  ``exclude`` drops quarantined
+    or already-connected addresses.  Returns ``[]`` when no eligible
+    host remains (the backend then falls back to local execution).
+    """
+    excluded = set(exclude)
+    eligible = [r for r in hosts if r.address not in excluded]
+    # least-loaded first; address breaks ties so placement is a pure
+    # function of the registry snapshot
+    eligible.sort(key=lambda r: (_load_ratio(r), r.address))
+    budget = None if n_shards is None else max(1, n_shards)
+    placements: list[Placement] = []
+    for record in eligible:
+        if budget is not None and budget <= 0:
+            break
+        connections = max(1, record.capacity)
+        if budget is not None:
+            connections = min(connections, budget)
+            budget -= connections
+        placements.append(Placement(address=record.address,
+                                    connections=connections))
+    return placements

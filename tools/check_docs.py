@@ -20,6 +20,9 @@ Two checks, both fatal on failure:
    document the ``SCHEMA_VERSION`` that ``repro.api.specs`` actually
    speaks, and its field tables must cover every ``Experiment`` /
    ``CampaignSpec`` / ``AnalysisSpec`` dataclass field.
+4. **Service drift check** — ``docs/service.md`` must document
+   ``DEFAULT_REGISTRY_PORT``, the exact ``JOB_STATES`` lifecycle, and
+   every v3 service op / error code by name.
 """
 
 from __future__ import annotations
@@ -76,13 +79,14 @@ def check_links() -> list:
 
 
 # ------------------------------------------------------------- drift check
-def section_table(text: str, heading: str) -> list:
+def section_table(text: str, heading: str,
+                  source: str = "docs/protocol.md") -> list:
     """First-column cells (backtick-stripped) of the table under
     ``heading``, plus the raw second column for value tables."""
     pattern = re.compile(rf"^##+\s+{re.escape(heading)}\s*$", re.MULTILINE)
     match = pattern.search(text)
     if match is None:
-        raise SystemExit(f"docs/protocol.md: section {heading!r} not found")
+        raise SystemExit(f"{source}: section {heading!r} not found")
     rows = []
     for line in text[match.end():].splitlines():
         stripped = line.strip()
@@ -95,7 +99,7 @@ def section_table(text: str, heading: str) -> list:
         if not cells or set(cells[0]) <= {"-", " ", ":"}:
             continue  # separator row
         rows.append(cells)
-    if rows and rows[0][0].lower() in ("constant", "op", "code"):
+    if rows and rows[0][0].lower() in ("constant", "op", "code", "state"):
         rows = rows[1:]  # header row
     return rows
 
@@ -173,9 +177,48 @@ def check_experiment_drift() -> list:
     return errors
 
 
+def check_service_drift() -> list:
+    sys.path.insert(0, str(REPO / "src"))
+    from repro.engine.backends import protocol
+    from repro.service import daemon, queue
+
+    text = (REPO / "docs" / "service.md").read_text(encoding="utf-8")
+    errors = []
+
+    documented = {row[0]: row[1]
+                  for row in section_table(text, "Constants",
+                                           source="docs/service.md")}
+    expected = str(daemon.DEFAULT_REGISTRY_PORT)
+    if documented.get("DEFAULT_REGISTRY_PORT") != expected:
+        errors.append(f"service.md Constants: DEFAULT_REGISTRY_PORT "
+                      f"documented as "
+                      f"{documented.get('DEFAULT_REGISTRY_PORT')!r}, "
+                      f"code says {expected!r}")
+
+    doc_states = [row[0] for row in
+                  section_table(text, "Job queue",
+                                source="docs/service.md")]
+    if doc_states != list(queue.JOB_STATES):
+        errors.append(f"service.md job-state table {doc_states} != "
+                      f"queue.JOB_STATES {list(queue.JOB_STATES)}")
+
+    # every v3 service op and error code must be discussed by name
+    service_ops = (protocol.OP_REGISTER, protocol.OP_REGISTERED,
+                   protocol.OP_HEARTBEAT, protocol.OP_LEAVE,
+                   protocol.OP_RESOLVE, protocol.OP_HOSTS,
+                   protocol.OP_SUBMIT, protocol.OP_JOBS,
+                   protocol.OP_WATCH, protocol.OP_FETCH)
+    service_codes = (protocol.ERR_UNKNOWN_HOST, protocol.ERR_UNKNOWN_JOB,
+                     protocol.ERR_BAD_SPEC, protocol.ERR_JOB_FAILED)
+    for name in (*service_ops, *service_codes):
+        if f"`{name}`" not in text:
+            errors.append(f"service.md: v3 op/code {name!r} undocumented")
+    return errors
+
+
 def main() -> int:
     errors = (check_links() + check_protocol_drift()
-              + check_experiment_drift())
+              + check_experiment_drift() + check_service_drift())
     for error in errors:
         print(f"FAIL: {error}", file=sys.stderr)
     if errors:
