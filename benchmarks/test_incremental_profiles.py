@@ -1,0 +1,91 @@
+"""Incremental profiles: O(diff) re-injection after a one-region edit.
+
+The FastFlip-style acceptance bound (docs/profiles.md): on the
+``fig5_mini`` grid (kmeans, four loop regions x two injection kinds)
+plus composed profile specs, re-running after a *single-region* source
+change — the kmeans ``tuned`` center-update variant, which rewrites
+only region ``k_h`` — against the first run's ``--store-dir`` must
+
+* dispatch **<= 25%** of the full sweep's plan count (only ``k_h``'s
+  plans re-inject; every other region is served at reuse tier
+  ``plans``),
+* produce outcome counts **byte-identical** to a from-scratch tuned
+  run for every re-injected region, and
+* keep composed whole-program estimates **tolerance-bounded** (within
+  the two runs' combined 95% margins) for store-served regions.
+"""
+
+import json
+import os
+
+from conftest import tracker
+
+from repro.api import Experiment, ProfileSpec, run_experiment
+
+SPEC_PATH = os.path.join(os.path.dirname(__file__), "..", "examples",
+                         "specs", "fig5_mini.json")
+
+
+def _experiment(store_dir: str) -> Experiment:
+    with open(SPEC_PATH) as fh:
+        base = Experiment.from_dict(json.load(fh))
+    import dataclasses
+    return dataclasses.replace(
+        base, store_dir=store_dir, incremental=True,
+        specs=base.specs + (ProfileSpec(kind="internal", n=4),
+                            ProfileSpec(kind="input", n=4)))
+
+
+def _dispatched(result) -> int:
+    return sum(d["plans"] for d in result.dispatches
+               if d["mode"] != "store")
+
+
+def test_incremental_profiles(benchmark, tmp_path):
+    experiment = _experiment(str(tmp_path / "store"))
+    full = run_experiment(experiment, tracker_factory=tracker)
+
+    def tuned(app):
+        return tracker(app, variant="tuned")
+
+    incremental = benchmark.pedantic(
+        lambda: run_experiment(experiment, tracker_factory=tuned),
+        rounds=1, iterations=1)
+    scratch = run_experiment(experiment, tracker_factory=tuned)
+
+    total = _dispatched(full)
+    redone = _dispatched(incremental)
+    print(f"\nfull sweep: {total} plans dispatched; incremental re-run "
+          f"after the k_h edit: {redone} "
+          f"({redone / total:.0%}, bound 25%)")
+    assert total >= 64, "fig5_mini grid shrank; bound is meaningless"
+    assert redone <= total * 0.25
+
+    # re-injected region: byte-identical to the from-scratch tuned run
+    for inc, scr in zip(incremental.spec_results(),
+                        scratch.spec_results()):
+        assert (inc.index, inc.label, inc.mode) == \
+            (scr.index, scr.label, scr.mode)
+        if inc.campaign is not None and "/k_h/" in inc.label:
+            assert (inc.campaign.success, inc.campaign.failed,
+                    inc.campaign.crashed) == \
+                (scr.campaign.success, scr.campaign.failed,
+                 scr.campaign.crashed), inc.label
+
+    # composed estimates: tolerance-bounded against from-scratch
+    composed_pairs = [
+        (inc.profile, scr.profile)
+        for inc, scr in zip(incremental.spec_results(),
+                            scratch.spec_results())
+        if inc.mode == "profile"]
+    assert len(composed_pairs) == 2
+    for inc_profile, scr_profile in composed_pairs:
+        sources = inc_profile["sources"]
+        assert sources["k_h"]["source"] == "dispatch"
+        assert all(s["source"] == "store" for r, s in sources.items()
+                   if r != "k_h")
+        inc_c, scr_c = inc_profile["composed"], scr_profile["composed"]
+        tolerance = inc_c["margin95"] + scr_c["margin95"]
+        for outcome, rate in inc_c["rates"].items():
+            assert abs(rate - scr_c["rates"][outcome]) <= tolerance
+        assert inc_c["coverage"] > 0.5   # the grid covers the hot loops

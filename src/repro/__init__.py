@@ -32,25 +32,30 @@ paper-vs-measured record of every table and figure.
 """
 
 from repro.api import (AnalysisSpec, CampaignSpec, Experiment,
-                       ExperimentResult, SpecError, SpecResult,
-                       run_experiment)
+                       ExperimentResult, ProfileSpec, SpecError,
+                       SpecResult, run_experiment)
 from repro.apps import ALL_APPS, REGISTRY, Program
 from repro.core import FlipTracker, RunAnalysis
 from repro.dddg import DDDG, RegionComparison, build_dddg, to_dot
 from repro.engine import ExecutionEngine, PlanCache, ProgressEvent
 from repro.faults import CampaignResult, Manifestation, sample_size
 from repro.patterns import PATTERNS, PatternInstance, compute_rates
+from repro.profiles import (RegionProfile, ResultStore, compose_profiles,
+                            reuse_tier)
+from repro.regions import region_fingerprint, region_fingerprints
 from repro.vm import FaultPlan, Interpreter
 
-__version__ = "1.2.0"
+__version__ = "1.3.0"
 
 __all__ = [
     "ALL_APPS", "REGISTRY", "Program", "FlipTracker", "RunAnalysis",
-    "CampaignSpec", "AnalysisSpec", "Experiment", "ExperimentResult",
-    "SpecResult", "SpecError", "run_experiment",
+    "CampaignSpec", "AnalysisSpec", "ProfileSpec", "Experiment",
+    "ExperimentResult", "SpecResult", "SpecError", "run_experiment",
     "DDDG", "RegionComparison", "build_dddg", "to_dot",
     "ExecutionEngine", "PlanCache", "ProgressEvent",
     "CampaignResult", "Manifestation", "sample_size", "PATTERNS",
     "PatternInstance", "compute_rates", "FaultPlan", "Interpreter",
+    "RegionProfile", "ResultStore", "compose_profiles", "reuse_tier",
+    "region_fingerprint", "region_fingerprints",
     "__version__",
 ]

@@ -16,11 +16,12 @@ from __future__ import annotations
 from typing import Sequence
 
 from repro.api.specs import (DEFAULT_ITERATION_N, DEFAULT_WHOLE_PROGRAM_N,
-                             AnalysisSpec, CampaignSpec)
+                             AnalysisSpec, CampaignSpec, ProfileSpec)
 from repro.faults.sites import NoFaultSitesError
 from repro.vm.fault import FaultPlan
 
-__all__ = ["compile_campaign", "compile_analysis", "aggregate_patterns"]
+__all__ = ["compile_campaign", "compile_analysis", "compile_profile",
+           "aggregate_patterns"]
 
 
 def compile_campaign(tracker, spec: CampaignSpec
@@ -52,6 +53,43 @@ def compile_campaign(tracker, spec: CampaignSpec
     count = spec.n if spec.n is not None else DEFAULT_WHOLE_PROGRAM_N
     plans = tracker.make_plans(inst, spec.kind, count)
     return f"{program}/whole/{spec.kind}", plans
+
+
+def compile_profile(tracker, spec: ProfileSpec
+                    ) -> list[tuple[str, str, list[FaultPlan]]]:
+    """Expand one profile spec -> ``[(region, label, plans), ...]``.
+
+    One entry per profiled region of the app's chain, in chain order —
+    each region keeps its own plan group so dispatch accounting (and
+    store-served skipping) stays per-region.  Plan construction per
+    region is identical to a region-target :class:`CampaignSpec` with
+    the same ``(region, kind, n, cap, instance_index)`` — same
+    Leveugle sizing, same seed streams — so a profile's plans alias a
+    matching campaign's plans in the engine cache.  Regions without
+    injectable sites of ``spec.kind`` are skipped, not fatal.
+    """
+    program = tracker.program.name
+    entries: list[tuple[str, str, list[FaultPlan]]] = []
+    seen: set[str] = set()
+    for inst in tracker.instances():
+        if inst.index != spec.instance_index:
+            continue
+        region = inst.region.name
+        if region in seen:
+            continue
+        seen.add(region)
+        if spec.loop_only and inst.region.kind != "loop":
+            continue
+        count = spec.n if spec.n is not None else \
+            tracker.campaign_size(inst, spec.kind, cap=spec.cap)
+        try:
+            plans = tracker.make_plans(inst, spec.kind, count)
+        except NoFaultSitesError:
+            continue
+        entries.append((region,
+                        f"{program}/profile/{region}/{spec.kind}",
+                        plans))
+    return entries
 
 
 def compile_analysis(tracker, spec: AnalysisSpec

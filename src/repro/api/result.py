@@ -36,18 +36,24 @@ __all__ = ["SpecResult", "ExperimentResult"]
 class SpecResult:
     """Outcome of one spec applied to one app.
 
-    Exactly one of ``campaign`` / ``patterns`` is set, matching
-    ``mode``.  ``patterns`` uses the canonical wire image — region
-    name to *sorted* pattern-mnemonic list — identical to what the
-    ``ANALYZE`` protocol op ships (see ``docs/protocol.md``).
+    Exactly one of ``campaign`` / ``patterns`` / ``profile`` is set,
+    matching ``mode``.  ``patterns`` uses the canonical wire image —
+    region name to *sorted* pattern-mnemonic list — identical to what
+    the ``ANALYZE`` protocol op ships (see ``docs/protocol.md``).
+    ``profile`` is the payload documented in ``docs/profiles.md``:
+    per-region outcome distributions plus the composed whole-program
+    estimate; its ``sources`` map (where each region came from —
+    dispatch or store, and at which reuse tier) is provenance and is
+    stripped from the canonical image.
     """
 
     index: int                      #: position in ``Experiment.specs``
     app: str
     label: str
-    mode: str                       #: ``"campaign"`` | ``"analysis"``
+    mode: str            #: ``"campaign"`` | ``"analysis"`` | ``"profile"``
     campaign: Optional[CampaignResult] = None
     patterns: Optional[dict[str, list[str]]] = None
+    profile: Optional[dict] = None
 
     def pattern_sets(self) -> dict[str, set[str]]:
         """``patterns`` as mutable sets (the legacy in-memory shape)."""
@@ -72,6 +78,13 @@ class SpecResult:
         if self.patterns is not None:
             payload["patterns"] = {region: list(pats) for region, pats
                                    in sorted(self.patterns.items())}
+        if self.profile is not None:
+            profile = dict(self.profile)
+            if not provenance:
+                # where each region's numbers came from (dispatch vs
+                # store, reuse tier) is substrate, not outcome
+                profile.pop("sources", None)
+            payload["profile"] = profile
         return payload
 
     @staticmethod
@@ -90,7 +103,8 @@ class SpecResult:
                         in payload["patterns"].items()}
         return SpecResult(index=payload["index"], app=payload["app"],
                           label=payload["label"], mode=payload["mode"],
-                          campaign=campaign, patterns=patterns)
+                          campaign=campaign, patterns=patterns,
+                          profile=payload.get("profile"))
 
 
 @dataclass
@@ -148,7 +162,8 @@ class ExperimentResult:
             # experiment's identity (name, apps, seed, specs)
             experiment = replace(experiment, workers=1, backend=None,
                                  backend_addr=None, cache_dir=None,
-                                 resume=True, shard_size=64)
+                                 resume=True, shard_size=64,
+                                 store_dir=None, incremental=False)
         payload = {"schema_version": SCHEMA_VERSION,
                    "experiment": experiment.to_dict(),
                    "results": [r.to_dict(provenance=provenance)

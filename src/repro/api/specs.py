@@ -7,7 +7,7 @@ an :class:`Experiment` bundles many specs over one or many apps plus
 everything needed to reproduce them (name, seed, backend config), so a
 whole figure is a single serializable artifact instead of a script.
 
-Three spec kinds:
+Four spec kinds:
 
 :class:`CampaignSpec`
     One untraced success-rate campaign: a target
@@ -17,6 +17,12 @@ Three spec kinds:
 :class:`AnalysisSpec`
     One traced pattern sweep over every region instance (a Table I
     row), mirroring :meth:`~repro.core.FlipTracker.region_patterns`.
+:class:`ProfileSpec`
+    Per-region resilience profiles over the app's region chain plus a
+    composed whole-program estimate (:mod:`repro.profiles`); with the
+    experiment's ``store_dir``/``incremental`` settings, profiled
+    regions whose fingerprints are already in the cross-experiment
+    store are served without dispatching.
 :class:`Experiment`
     ``specs`` over ``apps``, plus seed and engine/backend settings.
 
@@ -134,10 +140,49 @@ class AnalysisSpec:
                                tuple(int(b) for b in self.probe_bits))
 
 
-Spec = Union[CampaignSpec, AnalysisSpec]
+@dataclass(frozen=True)
+class ProfileSpec:
+    """Per-region resilience profiles + composed estimate for one app.
+
+    Profiles every region of the app's chain at ``instance_index``
+    (``loop_only`` skips the straight setup regions; regions without
+    injectable sites are skipped either way) with ``n`` injections per
+    region (``None`` = Leveugle auto-sizing, bounded by ``cap``), then
+    composes the per-region outcome distributions into a whole-program
+    estimate (:func:`repro.profiles.compose_profiles`) when
+    ``compose`` is set.  ``acl_samples`` additionally traces that many
+    of each region's plans to attach ACL statistics (peak live
+    corruption, divergence rate) to the profile.
+    """
+
+    kind: str = "internal"
+    n: Optional[int] = None
+    cap: Optional[int] = None
+    instance_index: int = 0
+    loop_only: bool = True
+    acl_samples: int = 0
+    compose: bool = True
+    app: Optional[str] = None
+
+    def __post_init__(self) -> None:
+        if self.kind not in INJECTION_KINDS:
+            raise SpecError(f"profile kind must be one of "
+                            f"{INJECTION_KINDS}, got {self.kind!r}")
+        if self.n is not None and self.n < 1:
+            raise SpecError(f"n must be >= 1, got {self.n}")
+        if self.cap is not None and self.cap < 1:
+            raise SpecError(f"cap must be >= 1, got {self.cap}")
+        if self.instance_index < 0:
+            raise SpecError("instance_index must be >= 0")
+        if self.acl_samples < 0:
+            raise SpecError("acl_samples must be >= 0")
+
+
+Spec = Union[CampaignSpec, AnalysisSpec, ProfileSpec]
 
 #: JSON ``type`` discriminator <-> spec class
-SPEC_TYPES = {"campaign": CampaignSpec, "analysis": AnalysisSpec}
+SPEC_TYPES = {"campaign": CampaignSpec, "analysis": AnalysisSpec,
+              "profile": ProfileSpec}
 
 
 @dataclass(frozen=True)
@@ -151,6 +196,14 @@ class Experiment:
     fields configure the per-app :class:`~repro.core.FlipTracker`
     (workers, cache spill, shard size, backend) — see
     :mod:`repro.engine.backends` for backend semantics.
+
+    ``store_dir`` points at a cross-experiment
+    :class:`~repro.profiles.ResultStore`: fresh per-region profiles
+    are always written there, and with ``incremental`` set, region
+    campaigns and profile specs whose region fingerprints (plus
+    injection parameters) are already stored are *served from the
+    store* instead of dispatched — the O(diff) re-run path
+    (``docs/profiles.md``).
     """
 
     name: str
@@ -163,6 +216,8 @@ class Experiment:
     cache_dir: Optional[str] = None
     resume: bool = True
     shard_size: int = 64
+    store_dir: Optional[str] = None
+    incremental: bool = False
 
     def __post_init__(self) -> None:
         if not self.name:
@@ -174,9 +229,11 @@ class Experiment:
         if not self.specs:
             raise SpecError("experiment needs at least one spec")
         for spec in self.specs:
-            if not isinstance(spec, (CampaignSpec, AnalysisSpec)):
-                raise SpecError(f"specs must be CampaignSpec or "
-                                f"AnalysisSpec, got {type(spec).__name__}")
+            if not isinstance(spec, (CampaignSpec, AnalysisSpec,
+                                     ProfileSpec)):
+                raise SpecError(f"specs must be CampaignSpec, "
+                                f"AnalysisSpec or ProfileSpec, got "
+                                f"{type(spec).__name__}")
             if spec.app is not None and spec.app not in self.apps:
                 raise SpecError(f"spec pins app {spec.app!r} which is "
                                 f"not in apps {self.apps}")
@@ -200,7 +257,9 @@ class Experiment:
                    "backend": self.backend,
                    "backend_addr": self.backend_addr,
                    "cache_dir": self.cache_dir, "resume": self.resume,
-                   "shard_size": self.shard_size}
+                   "shard_size": self.shard_size,
+                   "store_dir": self.store_dir,
+                   "incremental": self.incremental}
         return payload
 
     def to_json(self, indent: Optional[int] = 2) -> str:

@@ -89,6 +89,38 @@ def kmeans_step() -> float:
     return delta
 
 
+def kmeans_step_tuned() -> float:
+    """``variant="tuned"``: same Lloyd step, center update rewritten.
+
+    The update multiplies by ``1.0`` — exact FP identity, so outputs,
+    verification and iteration counts match the base build — but the
+    extra MUL changes the center-update loop's IR slice (and nothing
+    before it), giving tests a one-region source diff on demand.
+    """
+    new_centers = alloca_f64(8)
+    new_count = alloca_i64(4)
+    for i in range(K * NFEATURES):          # k region A: zero sums
+        new_centers[i] = 0.0
+    for i in range(K):                      # k region B: zero counts
+        new_count[i] = 0
+    delta = 0.0
+    for i in range(NPOINTS):                # k region C: assignment (big)
+        index = find_nearest(i)
+        if membership[i] != index:
+            delta = delta + 1.0
+        membership[i] = index
+        for f in range(NFEATURES):
+            new_centers[index * NFEATURES + f] = \
+                new_centers[index * NFEATURES + f] + features[i, f]
+        new_count[index] = new_count[index] + 1
+    for c in range(K):                      # k region D: center update
+        for f in range(NFEATURES):
+            if new_count[c] > 0:
+                clusters[c, f] = new_centers[c * NFEATURES + f] \
+                    * 1.0 / float(new_count[c])
+    return delta
+
+
 def kmeans_main() -> None:
     gen_points()
     for c in range(K):                  # initial centers = first K points
@@ -118,7 +150,10 @@ def kmeans_main() -> None:
 # --------------------------------------------------------------------------
 
 @REGISTRY.register("kmeans")
-def build() -> Program:
+def build(variant: str = "base") -> Program:
+    if variant not in ("base", "tuned"):
+        raise ValueError(f"kmeans variant must be base|tuned, "
+                         f"got {variant!r}")
     pb = ProgramBuilder("kmeans")
     add_randlc(pb)
     pb.array("features", F64, (NPOINTS, NFEATURES))
@@ -128,9 +163,14 @@ def build() -> Program:
     pb.func(gen_points)
     pb.func(euclid_dist_2)
     pb.func(find_nearest)
-    pb.func(kmeans_step)
+    step = kmeans_step if variant == "base" else kmeans_step_tuned
+    pb.func(step, name="kmeans_step")
     pb.func(kmeans_main, name="main")
     module = pb.build(entry="main")
+    # params feed program reconstruction in campaign workers AND the
+    # program fingerprint; the base build carries no params so its
+    # fingerprint (and every cached plan key) is unchanged
+    params = {} if variant == "base" else {"variant": variant}
     return Program(name="kmeans", module=module, region_fn="kmeans_step",
-                   region_prefix="k", main_fn="main",
+                   region_prefix="k", main_fn="main", params=params,
                    meta={"npoints": NPOINTS, "k": K})

@@ -13,6 +13,10 @@ Exposes the FlipTracker pipeline for interactive exploration:
 ``patterns``   traced pattern sweep per region (Table I row; sharded
                over ``--backend`` like campaigns)
 ``rates``      the six pattern-rate features of a program (Table IV row)
+``profiles``   per-region resilience profiles + composed whole-program
+               estimate; with ``--store-dir``/``--incremental`` a
+               modified program re-injects only changed regions
+               (``docs/profiles.md``)
 ``dot``        DDDG DOT export of a region instance (Graphviz)
 ``sample``     Leveugle sample-size calculator (Section IV-C)
 ``serve``      run a TCP shard server for ``--backend socket`` clients
@@ -261,15 +265,7 @@ def cmd_run(args) -> int:
     if args.progress:
         def on_progress(event):  # noqa: E306 - tiny local callback
             print(f"  {event}", file=sys.stderr)
-    backend_factory = None
-    if args.registry is not None:
-        # substrate override, not spec state: the spec file stays the
-        # artifact of record and the envelope stays byte-identical
-        from repro.engine.backends import SocketBackend
-        registry = args.registry
-
-        def backend_factory():  # noqa: E306 - tiny local factory
-            return SocketBackend(registry=registry)
+    backend_factory = _registry_backend_factory(args)
     try:
         result = run_experiment(experiment, on_progress=on_progress,
                                 backend_factory=backend_factory)
@@ -301,6 +297,78 @@ def cmd_run(args) -> int:
           f"{result.executed} executed, {result.cached} cached, "
           f"{result.elapsed:.2f}s "
           f"(backend={experiment.backend or 'local'})")
+    return 0
+
+
+def _registry_backend_factory(args):
+    """Per-app SocketBackend factory when ``--registry`` is given.
+
+    A substrate override, not spec state: the spec file stays the
+    artifact of record and the envelope stays byte-identical.
+    """
+    if args.registry is None:
+        return None
+    from repro.engine.backends import SocketBackend
+    registry = args.registry
+
+    def backend_factory():
+        return SocketBackend(registry=registry)
+
+    return backend_factory
+
+
+def cmd_profiles(args) -> int:
+    from repro.api import Experiment, ProfileSpec, run_experiment
+    spec = ProfileSpec(kind=args.kind, n=args.n, cap=args.cap,
+                       instance_index=args.instance,
+                       acl_samples=args.acl_samples)
+    experiment = Experiment(
+        name=f"{args.app}-profiles", apps=(args.app,), specs=(spec,),
+        seed=args.seed, workers=args.workers, backend=args.backend,
+        backend_addr=args.backend_addr, cache_dir=args.cache_dir,
+        resume=args.resume, shard_size=args.shard_size,
+        store_dir=args.store_dir, incremental=bool(args.incremental))
+    on_progress = None
+    if args.progress:
+        def on_progress(event):  # noqa: E306 - tiny local callback
+            print(f"  {event}", file=sys.stderr)
+    result = run_experiment(experiment, on_progress=on_progress,
+                            backend_factory=_registry_backend_factory(args))
+    if args.json:
+        print(result.to_json(indent=2, provenance=not args.canonical))
+        return 0
+    profile = result.spec_results()[0].profile
+    sources = profile.get("sources", {})
+    rows = []
+    for entry in profile["regions"]:
+        counts = entry["counts"]
+        src = sources.get(entry["region"], {})
+        rows.append([entry["region"], entry["fingerprint"][:12],
+                     entry["n"], counts["success"], counts["failed"],
+                     counts["crashed"] + counts.get("hung", 0),
+                     entry["total_weight"],
+                     src.get("source", "dispatch")
+                     + (f":{src['tier']}" if src.get("tier") else "")])
+    print(format_table(
+        ["Region", "Fingerprint", "n", "OK", "SDC", "Crash", "Weight",
+         "Source"], rows,
+        title=f"{args.app}: per-region resilience profiles "
+              f"({args.kind} flips, seed={args.seed})"))
+    composed = profile.get("composed")
+    if composed is not None:
+        rates = composed["rates"]
+        print(f"composed: success={rates['success']:.4f} "
+              f"sdc={rates['failed']:.4f} crash={rates['crashed']:.4f} "
+              f"+/-{composed['margin95']:.4f} (95%), "
+              f"coverage={composed['coverage']:.3f} of "
+              f"{composed['trace_len']} instructions, "
+              f"n={composed['samples']}")
+    dispatched = sum(d["plans"] for d in result.dispatches
+                     if d["mode"] != "store")
+    served = sum(d["plans"] for d in result.dispatches
+                 if d["mode"] == "store")
+    print(f"{dispatched} injections dispatched, {served} served from "
+          f"store ({args.store_dir or 'no store'})")
     return 0
 
 
@@ -345,7 +413,8 @@ def cmd_serve(args) -> int:
 def cmd_registry(args) -> int:
     from repro.service import ServiceDaemon
     daemon = ServiceDaemon(host=args.host, port=args.port,
-                           spill_dir=args.spill_dir, ttl=args.ttl)
+                           spill_dir=args.spill_dir, ttl=args.ttl,
+                           store_dir=args.store_dir)
     # the "registry" line marks readiness; scripts wait for it
     print(f"registry on {daemon.host}:{daemon.port} "
           f"ttl={daemon.registry.ttl}", flush=True)
@@ -448,7 +517,8 @@ def _positive_int(text: str) -> int:
 ENGINE_FLAG_DEFAULTS = {"seed": 20181111, "workers": 1,
                         "cache_dir": None, "resume": False,
                         "shard_size": 64, "backend": "local",
-                        "backend_addr": None}
+                        "backend_addr": None,
+                        "store_dir": None, "incremental": False}
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -486,6 +556,16 @@ def build_parser() -> argparse.ArgumentParser:
                         "--backend socket; see 'repro registry'), and "
                         "the service commands submit/jobs/watch/fetch "
                         "talk to it (default 127.0.0.1:7460)")
+    p.add_argument("--store-dir", default=None, metavar="DIR",
+                   help="cross-experiment profile store (JSONL; see "
+                        "docs/profiles.md): freshly injected region "
+                        "results are recorded here keyed by region "
+                        "fingerprint + injection parameters")
+    p.add_argument("--incremental", action="store_const", const=True,
+                   default=None,
+                   help="serve region results already in --store-dir "
+                        "instead of re-injecting: a modified program "
+                        "re-runs only regions whose fingerprint changed")
     p.add_argument("--exec-tier", choices=("interp", "compiled"),
                    default=None,
                    help="VM execution tier (sets REPRO_EXEC for this "
@@ -548,6 +628,28 @@ def build_parser() -> argparse.ArgumentParser:
                     help="stream per-shard analysis progress to stderr")
 
     app_cmd("rates", "pattern-rate features (Table IV row)")
+
+    sp = app_cmd("profiles", "per-region resilience profiles + "
+                             "composed whole-program estimate")
+    sp.add_argument("--kind", choices=("input", "internal"),
+                    default="internal")
+    sp.add_argument("-n", type=int, default=None,
+                    help="injections per region (default: Leveugle "
+                         "sizing per region's site population)")
+    sp.add_argument("--cap", type=int, default=None,
+                    help="cap the Leveugle sample size per region")
+    sp.add_argument("--instance", type=int, default=0)
+    sp.add_argument("--acl-samples", type=int, default=0,
+                    help="traced ACL statistics from this many plans "
+                         "per region (0 = none; traced runs are slow)")
+    sp.add_argument("--json", action="store_true",
+                    help="emit the full ExperimentResult envelope as "
+                         "JSON instead of a summary table")
+    sp.add_argument("--canonical", action="store_true",
+                    help="with --json: strip timings/provenance "
+                         "(golden-file mode)")
+    sp.add_argument("--progress", action="store_true",
+                    help="stream per-shard progress to stderr")
 
     sp = app_cmd("dot", "DDDG DOT export")
     sp.add_argument("region")
@@ -633,7 +735,7 @@ _HANDLERS = {
     "apps": cmd_apps, "trace": cmd_trace, "regions": cmd_regions,
     "io": cmd_io, "inject": cmd_inject, "acl": cmd_acl,
     "campaign": cmd_campaign, "patterns": cmd_patterns,
-    "rates": cmd_rates, "dot": cmd_dot,
+    "rates": cmd_rates, "dot": cmd_dot, "profiles": cmd_profiles,
     "sample": cmd_sample, "serve": cmd_serve, "run": cmd_run,
     "registry": cmd_registry, "submit": cmd_submit, "jobs": cmd_jobs,
     "watch": cmd_watch, "fetch": cmd_fetch,

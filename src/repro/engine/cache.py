@@ -14,11 +14,60 @@ from __future__ import annotations
 
 import json
 import os
-from typing import IO, Optional
+from typing import Iterator, Optional
 
 from repro.engine.keys import KEY_VERSION
 
 SPILL_NAME = "plan_results.jsonl"
+
+
+# ---------------------------------------------------------------- JSONL
+# Shared append-only JSONL primitives (used by PlanCache and the
+# cross-experiment ResultStore in :mod:`repro.profiles.store`).
+
+def jsonl_open_append(path: str) -> int:
+    """O_APPEND fd for ``path`` (created if missing).
+
+    POSIX guarantees each ``os.write`` on an O_APPEND fd lands as one
+    atomic append, so concurrent writers interleave whole lines rather
+    than shearing each other's records — a plain buffered ``open(path,
+    "a")`` only promises that for writes that fit the stdio buffer.
+    """
+    return os.open(path, os.O_APPEND | os.O_CREAT | os.O_WRONLY, 0o644)
+
+
+def jsonl_append(fd: int, record: dict) -> None:
+    """Append one record as a single atomic write (line + newline)."""
+    line = json.dumps(record, sort_keys=True) + "\n"
+    os.write(fd, line.encode())
+
+
+def jsonl_records(path: str, start: int = 0
+                  ) -> Iterator[tuple[dict, int]]:
+    """Yield ``(record, end_offset)`` per valid line from ``start``.
+
+    ``end_offset`` is the byte offset just past the record's newline —
+    a resume cursor.  Invalid JSON lines (a torn final line of a
+    crashed writer) and blank lines are skipped without advancing past
+    anything unreadable *silently*: a torn line mid-file is simply not
+    yielded, but scanning continues at the next newline.
+    """
+    with open(path, "rb") as fh:
+        fh.seek(start)
+        offset = start
+        for raw in fh:
+            offset += len(raw)
+            if not raw.endswith(b"\n"):
+                break  # torn final line (no newline yet) — ignore
+            line = raw.strip()
+            if not line:
+                continue
+            try:
+                record = json.loads(line)
+            except (json.JSONDecodeError, UnicodeDecodeError):
+                continue
+            if isinstance(record, dict):
+                yield record, offset
 
 
 class PlanCache:
@@ -38,7 +87,7 @@ class PlanCache:
     def __init__(self, cache_dir: Optional[str] = None,
                  resume: bool = True):
         self._mem: dict[str, str] = {}
-        self._fh: Optional[IO[str]] = None
+        self._fd: Optional[int] = None
         self.cache_dir = cache_dir
         self.path: Optional[str] = None
         self.hits = 0
@@ -66,6 +115,10 @@ class PlanCache:
         A key overwritten with a *different* value (the ``resume=False``
         re-run path) is re-appended so ``_load``'s last-wins replay sees
         the new result; re-putting the same value stays spill-free.
+
+        Each record is one atomic O_APPEND write, so concurrent
+        processes spilling into the same cache directory interleave
+        whole lines (see :func:`jsonl_append`).
         """
         changed = self._mem.get(key) != value
         self._mem[key] = value
@@ -73,9 +126,9 @@ class PlanCache:
             record = {"v": KEY_VERSION, "key": key, "m": value}
             if meta:
                 record.update(meta)
-            if self._fh is None:
-                self._fh = open(self.path, "a", buffering=1)
-            self._fh.write(json.dumps(record, sort_keys=True) + "\n")
+            if self._fd is None:
+                self._fd = jsonl_open_append(self.path)
+            jsonl_append(self._fd, record)
 
     def __contains__(self, key: str) -> bool:
         return key in self._mem
@@ -86,33 +139,25 @@ class PlanCache:
     # ------------------------------------------------------------ spill
     def _load(self, path: str) -> int:
         loaded = 0
-        with open(path) as fh:
-            for line in fh:
-                line = line.strip()
-                if not line:
-                    continue
-                try:
-                    record = json.loads(line)
-                except json.JSONDecodeError:
-                    continue  # torn final line of an interrupted run
-                if record.get("v") != KEY_VERSION:
-                    continue
-                key, value = record.get("key"), record.get("m")
-                if isinstance(key, str) and isinstance(value, str):
-                    # last-wins: a re-executed result (resume=False rerun)
-                    # appended later must shadow the stale earlier line
-                    self._mem[key] = value
-                    loaded += 1
+        for record, _offset in jsonl_records(path):
+            if record.get("v") != KEY_VERSION:
+                continue
+            key, value = record.get("key"), record.get("m")
+            if isinstance(key, str) and isinstance(value, str):
+                # last-wins: a re-executed result (resume=False rerun)
+                # appended later must shadow the stale earlier line
+                self._mem[key] = value
+                loaded += 1
         return loaded
 
     def flush(self) -> None:
-        if self._fh is not None:
-            self._fh.flush()
+        if self._fd is not None:
+            os.fsync(self._fd)
 
     def close(self) -> None:
-        if self._fh is not None:
-            self._fh.close()
-            self._fh = None
+        if self._fd is not None:
+            os.close(self._fd)
+            self._fd = None
 
     def stats(self) -> dict:
         return {"entries": len(self._mem), "hits": self.hits,

@@ -62,6 +62,18 @@ def program_fingerprint(program) -> str:
     return hashlib.sha256(payload.encode()).hexdigest()[:24]
 
 
+def plans_fingerprint(plans) -> str:
+    """Digest of an ordered plan list (profile reuse-tier evidence).
+
+    Two campaigns whose plan lists share this fingerprint injected the
+    identical fault sequence — same triggers, modes, bits, locations,
+    widths, in the same order — regardless of which program build drew
+    them (see ``docs/profiles.md``, reuse tier ``plans``).
+    """
+    payload = _canonical([encode_plan(p) for p in plans])
+    return hashlib.sha256(payload.encode()).hexdigest()[:24]
+
+
 def plan_key(program_fp: str, plan: FaultPlan,
              max_instr: Optional[int]) -> str:
     """Content address of one (program, plan, budget) execution."""

@@ -1,0 +1,27 @@
+"""Compositional incremental injection analysis (FastFlip-style).
+
+Per-region **resilience profiles** — the outcome distribution of an
+injection campaign into one region, keyed by a content fingerprint of
+the region's IR slice plus the injection parameters — persisted in a
+cross-experiment :class:`ResultStore` so a modified program re-injects
+only the regions whose fingerprints changed, and a **composition**
+step that derives whole-program outcome estimates from cached
+profiles with an explicit validity contract and coverage/confidence
+figures.  See ``docs/profiles.md`` for the normative schema and the
+composition contract.
+"""
+
+from repro.profiles.compose import CompositionError, compose_profiles
+from repro.profiles.profile import (PROFILE_SCHEMA_VERSION, REUSE_TIERS,
+                                    RegionProfile, profile_key,
+                                    profile_params, reuse_tier)
+from repro.profiles.store import (INDEX_NAME, STORE_NAME, STORE_VERSION,
+                                  ResultStore, StoreCollisionError)
+
+__all__ = [
+    "PROFILE_SCHEMA_VERSION", "REUSE_TIERS", "RegionProfile",
+    "profile_key", "profile_params", "reuse_tier",
+    "INDEX_NAME", "STORE_NAME", "STORE_VERSION", "ResultStore",
+    "StoreCollisionError",
+    "CompositionError", "compose_profiles",
+]

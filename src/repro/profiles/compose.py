@@ -1,0 +1,90 @@
+"""Whole-program outcome estimates composed from region profiles.
+
+FastFlip's observation (PAPERS.md): per-section error-injection
+profiles can be composed into a whole-program estimate, so a modified
+program re-injects only the changed sections.  Our composition is a
+coverage-weighted mixture: a uniformly placed single-bit flip lands in
+region *r* with probability proportional to *r*'s share of dynamic
+instructions, and conditional on landing there manifests according to
+*r*'s profiled outcome distribution.
+
+Validity contract (checked here where decidable, documented in
+``docs/profiles.md`` where not):
+
+* **same fault model** — every composed profile must share injection
+  ``kind``, ``seed`` discipline and ``instance_index`` (enforced;
+  :class:`CompositionError`);
+* **stationarity** — a region's instance-0 profile stands in for its
+  later instances (the weights extrapolate by ``total_weight``);
+* **dataflow-compatible boundaries** — a fault that escapes its region
+  is assumed to propagate through other regions the way it did in the
+  profiled build.  This is the FastFlip assumption; it is exact when
+  the rest of the program is unchanged (reuse tier ``exact``) and an
+  estimate otherwise, which is why composed results carry ``coverage``
+  and ``margin95`` instead of pretending to be measurements.
+
+The 95% half-width uses worst-case per-region binomial variance
+(p=0.5): ``margin95 = 1.96 * 0.5 * sqrt(sum_i (w_i/W)^2 / n_i)`` — the
+error of a weighted mixture of independent proportion estimates.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Sequence
+
+from repro.faults.statistics import Z_SCORES
+from repro.profiles.profile import OUTCOMES, RegionProfile
+
+__all__ = ["CompositionError", "compose_profiles"]
+
+_Z95 = Z_SCORES[0.95]
+
+
+class CompositionError(ValueError):
+    """Profiles violate the composition validity contract."""
+
+
+def compose_profiles(profiles: Sequence[RegionProfile], *,
+                     trace_len: int) -> dict:
+    """Weighted whole-program outcome estimate from region profiles.
+
+    ``trace_len`` is the current build's fault-free dynamic instruction
+    count — the denominator of ``coverage`` (profiled regions may not
+    tile the whole execution: straight regions without sites, skipped
+    regions, callee-only spans outside the region function).
+    """
+    if not profiles:
+        raise CompositionError("nothing to compose: no region profiles")
+    kinds = {p.kind for p in profiles}
+    seeds = {p.seed for p in profiles}
+    indices = {p.instance_index for p in profiles}
+    if len(kinds) > 1 or len(seeds) > 1 or len(indices) > 1:
+        raise CompositionError(
+            f"profiles mix fault models: kinds={sorted(kinds)} "
+            f"seeds={sorted(seeds)} instance_indices={sorted(indices)} "
+            f"(composition requires one of each)")
+    regions = [p.region for p in profiles]
+    if len(set(regions)) != len(regions):
+        raise CompositionError(f"duplicate region profiles: {regions}")
+    weight = sum(p.total_weight for p in profiles)
+    if weight <= 0:
+        raise CompositionError("profiles carry no dynamic weight")
+    samples = sum(p.resolved_n for p in profiles)
+    rates = {o: 0.0 for o in OUTCOMES}
+    var = 0.0
+    for p in profiles:
+        if p.resolved_n <= 0:
+            raise CompositionError(f"profile {p.region!r} has no runs")
+        share = p.total_weight / weight
+        for o, rate in p.rates().items():
+            rates[o] += share * rate
+        var += (share * share) / p.resolved_n
+    return {
+        "rates": {o: round(rates[o], 9) for o in OUTCOMES},
+        "coverage": round(weight / trace_len, 9) if trace_len else 0.0,
+        "margin95": round(_Z95 * 0.5 * math.sqrt(var), 9),
+        "samples": samples,
+        "weight": weight,
+        "trace_len": trace_len,
+    }

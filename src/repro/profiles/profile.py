@@ -1,0 +1,152 @@
+"""Region resilience profiles: schema, content keys, reuse tiers.
+
+A :class:`RegionProfile` records what one injection campaign into one
+region instance produced — the manifestation counts (and optional ACL
+statistics from traced sample runs) — together with everything needed
+to decide whether a *different* program build may reuse it:
+
+* ``region_fp`` — content fingerprint of the region's IR slice plus
+  transitively reachable callees
+  (:func:`repro.regions.fingerprint.region_fingerprint`);
+* ``program_fp`` — fingerprint of the whole build
+  (:func:`repro.engine.keys.program_fingerprint`);
+* ``plans_fp`` — digest of the exact fault-plan sequence injected
+  (:func:`repro.engine.keys.plans_fingerprint`).
+
+Profiles are addressed by :func:`profile_key` — a digest of the region
+fingerprint and the injection parameters (kind, seed, instance, count,
+cap, ACL sampling) — so two experiments that would draw the same
+campaign against the same region code share one store entry.
+
+Reuse evidence is graded (:data:`REUSE_TIERS`, strongest first):
+
+``exact``
+    Same ``program_fp``: the stored counts are what re-running would
+    produce, byte for byte (manifestations are a pure function of
+    (program, plan, budget)).
+``plans``
+    Same ``region_fp`` and same ``plans_fp`` but a different build
+    elsewhere: the identical fault sequence hits identical region
+    code; counts transfer **under the composition contract** (changed
+    downstream regions are assumed dataflow-compatible — they may
+    process corrupted values differently, see ``docs/profiles.md``).
+``region``
+    Same ``region_fp`` only (an upstream change shifted the dynamic
+    window, so the drawn plans differ): the stored distribution is an
+    estimate for the same static code, usable for composition but not
+    for plan-exact campaign results.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from dataclasses import asdict, dataclass, field
+from typing import Mapping, Optional
+
+__all__ = ["PROFILE_SCHEMA_VERSION", "REUSE_TIERS", "RegionProfile",
+           "profile_key", "profile_params", "reuse_tier"]
+
+#: bump when the profile encoding changes incompatibly; the store
+#: ignores entries whose schema version does not match
+PROFILE_SCHEMA_VERSION = 1
+
+#: reuse-evidence grades, strongest first (see module docstring)
+REUSE_TIERS = ("exact", "plans", "region")
+
+#: manifestation buckets a profile counts.  ``hung`` is carried
+#: explicitly even though the current engine folds hangs into
+#: ``crashed`` (budget exhaustion raises through the crash path), so
+#: the schema will not need a bump when hang classification splits out.
+OUTCOMES = ("success", "failed", "crashed", "hung")
+
+
+@dataclass
+class RegionProfile:
+    """Outcome distribution of one region-instance campaign."""
+
+    app: str
+    region: str
+    kind: str                     #: ``"input"`` | ``"internal"``
+    instance_index: int
+    seed: int
+    n: Optional[int]              #: requested count (``None`` = auto)
+    cap: Optional[int]
+    resolved_n: int               #: plans actually drawn and counted
+    region_fp: str
+    program_fp: str
+    plans_fp: str
+    max_instr: int                #: hang budget the runs executed under
+    counts: dict = field(default_factory=dict)
+    weight: int = 0               #: dynamic instrs of the profiled instance
+    total_weight: int = 0         #: dynamic instrs over ALL its instances
+    trace_len: int = 0            #: fault-free trace length of the build
+    acl: Optional[dict] = None    #: traced-sample stats (see build_acl_stats)
+
+    def __post_init__(self) -> None:
+        for outcome in OUTCOMES:
+            self.counts.setdefault(outcome, 0)
+
+    @property
+    def key(self) -> str:
+        return profile_key(self.region_fp, self.params())
+
+    def params(self) -> dict:
+        """The injection parameters that address this profile."""
+        return profile_params(
+            kind=self.kind, seed=self.seed,
+            instance_index=self.instance_index, n=self.n, cap=self.cap,
+            acl_samples=0 if self.acl is None else self.acl["samples"])
+
+    def rates(self) -> dict[str, float]:
+        total = max(1, sum(self.counts[o] for o in OUTCOMES))
+        return {o: self.counts[o] / total for o in OUTCOMES}
+
+    # ------------------------------------------------------------ JSON
+    def to_dict(self) -> dict:
+        payload = {"schema_version": PROFILE_SCHEMA_VERSION}
+        payload.update(asdict(self))
+        return payload
+
+    @staticmethod
+    def from_dict(payload: Mapping) -> "RegionProfile":
+        version = payload.get("schema_version")
+        if version != PROFILE_SCHEMA_VERSION:
+            raise ValueError(f"unsupported profile schema_version "
+                             f"{version!r} (this build speaks "
+                             f"{PROFILE_SCHEMA_VERSION})")
+        kwargs = {k: v for k, v in payload.items()
+                  if k != "schema_version"}
+        return RegionProfile(**kwargs)
+
+
+def profile_params(*, kind: str, seed: int, instance_index: int = 0,
+                   n: Optional[int] = None, cap: Optional[int] = None,
+                   acl_samples: int = 0) -> dict:
+    """Canonical injection-parameter dict (the key's second half)."""
+    return {"kind": kind, "seed": seed, "instance_index": instance_index,
+            "n": n, "cap": cap, "acl_samples": acl_samples}
+
+
+def profile_key(region_fp: str, params: Mapping) -> str:
+    """Content address of one (region code, injection params) profile."""
+    payload = json.dumps(
+        {"v": PROFILE_SCHEMA_VERSION, "region_fp": region_fp,
+         "params": dict(params)},
+        sort_keys=True, separators=(",", ":"))
+    return hashlib.sha256(payload.encode()).hexdigest()
+
+
+def reuse_tier(stored: Mapping, *, program_fp: str,
+               plans_fp: Optional[str]) -> str:
+    """Grade stored-profile evidence against the current build.
+
+    The caller has already matched ``region_fp`` (it is part of the
+    store key); this decides how strong the match is — see
+    :data:`REUSE_TIERS`.
+    """
+    if stored.get("program_fp") == program_fp:
+        return "exact"
+    if plans_fp is not None and stored.get("plans_fp") == plans_fp:
+        return "plans"
+    return "region"

@@ -1,6 +1,8 @@
 """Code-region model: CFG, loops, regions, instance splitting, region IO."""
 
 from repro.regions.cfg import CFG, Loop
+from repro.regions.fingerprint import (region_fingerprint,
+                                       region_fingerprints)
 from repro.regions.model import (CodeRegion, RegionInstance, RegionModel,
                                  detect_regions, find_main_loop,
                                  main_loop_iterations, split_instances,
@@ -11,5 +13,5 @@ __all__ = [
     "CFG", "Loop", "CodeRegion", "RegionInstance", "RegionModel",
     "detect_regions", "find_main_loop", "main_loop_iterations",
     "split_instances", "split_iterations", "RegionIO", "classify_io",
-    "location_width",
+    "location_width", "region_fingerprint", "region_fingerprints",
 ]

@@ -1,0 +1,125 @@
+"""Content fingerprints of code regions (the incremental-reuse key).
+
+A region resilience profile (:mod:`repro.profiles`) is only reusable
+across program versions if the region's *code* is provably unchanged.
+The fingerprint digests everything that determines a region's faulty
+behaviour:
+
+* the region's IR slice — every instruction of the region's blocks,
+  in static pc order, printed without line-number comments (so pure
+  line shifts from edits elsewhere in the source do not invalidate the
+  region), with block labels preserved (control structure);
+* the full (line-stripped) IR of every function transitively callable
+  from the region — callee work executes *inside* the region's dynamic
+  window (callee-attributed instances, see
+  :func:`repro.regions.model.split_instances`), so a callee edit
+  changes the region's behaviour even though its own blocks are
+  untouched.
+
+Register numbers are deliberately **kept**: fault sites address
+registers, so renumbering changes which dynamic locations a plan can
+hit.  That makes the fingerprint conservative — an upstream edit that
+renumbers registers invalidates downstream regions even when their
+source is untouched — which errs toward re-injection, never toward
+unsound reuse.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from typing import Optional
+
+from repro.ir import opcodes as oc
+from repro.ir.printer import format_instr
+from repro.regions.model import RegionModel, detect_regions
+
+__all__ = ["region_fingerprint", "region_fingerprints"]
+
+#: separates the instruction text from the trailing line comment that
+#: :func:`repro.ir.printer.format_instr` always appends
+_LINE_COMMENT = "  ; line"
+
+
+def _stripped(instr) -> str:
+    return format_instr(instr).split(_LINE_COMMENT)[0]
+
+
+def _callee_name(instr) -> Optional[str]:
+    if instr.op != oc.CALL:
+        return None
+    aux = instr.aux
+    return aux if isinstance(aux, str) else aux.name
+
+
+def _function_digest(fn) -> str:
+    """Line-stripped digest of one whole function body."""
+    lines = []
+    for block in fn.blocks:
+        lines.append(f"{block.label}:")
+        lines.extend(_stripped(i) for i in block.instrs)
+    text = "\n".join([f"def @{fn.name}({', '.join(fn.params)})"] + lines)
+    return hashlib.sha256(text.encode()).hexdigest()[:16]
+
+
+def _reachable_callees(module, seed_names) -> dict[str, str]:
+    """``{callee name: digest}`` for all functions reachable from seeds."""
+    out: dict[str, str] = {}
+    work = list(seed_names)
+    while work:
+        name = work.pop()
+        if name in out or name not in module.functions:
+            continue
+        fn = module.functions[name]
+        out[name] = _function_digest(fn)
+        for block in fn.blocks:
+            for instr in block.instrs:
+                callee = _callee_name(instr)
+                if callee is not None and callee not in out:
+                    work.append(callee)
+    return out
+
+
+def region_fingerprint(program, region_name: str,
+                       model: Optional[RegionModel] = None) -> str:
+    """Content fingerprint of one region of ``program``.
+
+    Equal fingerprints guarantee the region's IR slice *and* every
+    transitively reachable callee are instruction-identical (modulo
+    source line numbers), so any profile computed from one build's
+    region transfers soundly to the other — see ``docs/profiles.md``
+    for the full validity contract.
+    """
+    return region_fingerprints(program, model=model)[region_name]
+
+
+def region_fingerprints(program, model: Optional[RegionModel] = None
+                        ) -> dict[str, str]:
+    """Fingerprints of every region in ``program``'s region chain."""
+    if model is None:
+        model = detect_regions(program.module, program.region_fn,
+                               program.region_prefix)
+    fn = model.fn
+    out: dict[str, str] = {}
+    for region in model.regions:
+        lines: list[str] = []
+        callees: list[str] = []
+        for block in fn.blocks:           # static pc order, like printing
+            if block.label not in region.blocks:
+                continue
+            lines.append(f"{block.label}:")
+            for instr in block.instrs:
+                lines.append(_stripped(instr))
+                callee = _callee_name(instr)
+                if callee is not None:
+                    callees.append(callee)
+        payload = json.dumps({
+            "fn": region.fn_name,
+            "name": region.name,
+            "kind": region.kind,
+            "slice": lines,
+            "callees": _reachable_callees(program.module, callees),
+        }, sort_keys=True, separators=(",", ":"))
+        out[region.name] = \
+            hashlib.sha256(payload.encode()).hexdigest()[:24]
+    return out

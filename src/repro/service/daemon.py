@@ -55,11 +55,20 @@ class ServiceDaemon:
                  port: int = DEFAULT_REGISTRY_PORT, *,
                  spill_dir: Optional[str] = None, ttl: float = 10.0,
                  registry: Optional[HostRegistry] = None,
-                 backend_factory: Optional[Callable[[], object]] = None):
+                 backend_factory: Optional[Callable[[], object]] = None,
+                 store_dir: Optional[str] = None):
         self.registry = registry if registry is not None \
             else HostRegistry(ttl=ttl)
         self.queue = JobQueue(spill_dir)
         self._backend_factory = backend_factory
+        # one cross-experiment profile store shared by every job this
+        # daemon runs (the executor is a single thread, so no locking;
+        # concurrent *daemons* on one store_dir are safe through the
+        # store's append-only JSONL discipline)
+        self.store = None
+        if store_dir is not None:
+            from repro.profiles import ResultStore
+            self.store = ResultStore(store_dir)
         self._listener = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
         self._listener.setsockopt(socket.SOL_SOCKET, socket.SO_REUSEADDR, 1)
         self._listener.bind((host, port))
@@ -108,6 +117,8 @@ class ServiceDaemon:
         for thread in self._conn_threads:
             thread.join(timeout=1.0)
         self.queue.close()
+        if self.store is not None:
+            self.store.close()
 
     def __enter__(self) -> "ServiceDaemon":
         return self
@@ -148,7 +159,8 @@ class ServiceDaemon:
                 self.queue.record_event(job.id, asdict(event))
 
             result = run_experiment(experiment, on_progress=on_progress,
-                                    backend_factory=self._make_backend)
+                                    backend_factory=self._make_backend,
+                                    store=self.store)
             self.queue.finish(job.id, result.to_dict(provenance=True))
         except Exception as exc:  # job failures are data, not crashes
             self.queue.fail(job.id, f"{type(exc).__name__}: {exc}")

@@ -1,0 +1,82 @@
+"""Shared golden-diff helpers for tests and CI smoke jobs.
+
+The repo's acceptance currency is the *canonical envelope*: the
+``provenance=False`` JSON image of an
+:class:`~repro.api.result.ExperimentResult`, byte-identical across
+backends, worker counts, exec tiers and cache/store states.  Several
+suites and every CI smoke job compare one of those against a golden;
+this module is the single implementation of that comparison, with a
+unified diff on failure instead of a bare ``assert a == b``.
+
+Inputs may be an ``ExperimentResult``, a result payload ``dict``, a
+JSON string, or a path to a JSON file — whatever form a call site has
+in hand.  Everything is re-canonicalized through ``ExperimentResult``,
+so a golden file that was saved *with* provenance still compares
+correctly.
+
+CI usage (replaces ``diff golden.json actual.json``)::
+
+    PYTHONPATH=src python tests/helpers.py expected.json actual.json
+"""
+
+from __future__ import annotations
+
+import difflib
+import json
+import sys
+
+
+def canonical_json(result) -> str:
+    """The canonical (provenance-free) JSON image of ``result``."""
+    from repro.api import ExperimentResult
+    if hasattr(result, "to_json"):            # an ExperimentResult
+        return result.to_json(indent=2, provenance=False)
+    if isinstance(result, dict):              # a payload image
+        return ExperimentResult.from_dict(result).to_json(
+            indent=2, provenance=False)
+    text = str(result)
+    if not text.lstrip().startswith("{"):     # a path, not JSON
+        with open(text) as fh:
+            text = fh.read()
+    return ExperimentResult.from_json(text).to_json(indent=2,
+                                                    provenance=False)
+
+
+def assert_canonical_match(expected, actual, context: str = "") -> None:
+    """Assert two result images agree canonically; diff on failure."""
+    want = canonical_json(expected)
+    got = canonical_json(actual)
+    if want == got:
+        return
+    diff = "\n".join(difflib.unified_diff(
+        want.splitlines(), got.splitlines(),
+        fromfile="expected", tofile="actual", lineterm=""))
+    prefix = f"{context}: " if context else ""
+    raise AssertionError(f"{prefix}canonical envelopes differ\n{diff}")
+
+
+def small_experiment_payload() -> dict:
+    """A tiny real-app experiment a daemon/runner can execute in ~1s."""
+    return {"schema_version": 1, "name": "svc-mini", "apps": ["kmeans"],
+            "seed": 20181111,
+            "specs": [{"type": "campaign", "target": "region",
+                       "region": "k_d", "kind": "internal", "n": 3}]}
+
+
+def main(argv) -> int:
+    if len(argv) != 2:
+        print(f"usage: python {__file__} EXPECTED.json ACTUAL.json",
+              file=sys.stderr)
+        return 2
+    try:
+        assert_canonical_match(argv[0], argv[1],
+                               context=f"{argv[0]} vs {argv[1]}")
+    except (AssertionError, OSError, json.JSONDecodeError) as exc:
+        print(exc, file=sys.stderr)
+        return 1
+    print(f"canonical match: {argv[0]} == {argv[1]}")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main(sys.argv[1:]))

@@ -14,6 +14,8 @@ The acceptance contract of the declarative layer (docs/experiments.md):
 
 import pytest
 
+from helpers import assert_canonical_match
+
 from repro.api import (AnalysisSpec, CampaignSpec, Experiment,
                        ExperimentResult, run_experiment)
 from repro.apps import REGISTRY
@@ -107,6 +109,7 @@ class TestSpecLegacyParity:
         # the envelope round-trips with the parity-checked payload inside
         back = ExperimentResult.from_json(result.to_json())
         assert back.results == result.results
+        assert_canonical_match(result, back, context=f"{app} round-trip")
 
     def test_iteration_and_whole_program_parity(self, app):
         specs = (CampaignSpec(target="iteration", iteration=0,

@@ -4,6 +4,8 @@ import json
 
 import pytest
 
+from helpers import assert_canonical_match
+
 from repro.api import (SCHEMA_VERSION, AnalysisSpec, CampaignSpec,
                        Experiment, ExperimentResult, SpecError,
                        SpecResult, decode_spec, encode_spec)
@@ -169,8 +171,7 @@ class TestResultEnvelope:
         other.results[0].campaign.details.update(backend="socket",
                                                  shards=7, cached=3)
         other.dispatches[0]["seconds"] = 99.0
-        assert other.to_json(provenance=False) == \
-            result.to_json(provenance=False)
+        assert_canonical_match(result, other)
         assert other.to_json() != result.to_json()
 
     def test_executed_cached_totals(self):

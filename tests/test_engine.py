@@ -119,6 +119,40 @@ class TestPlanCache:
         assert resumed.get("k") == "crashed"
 
 
+class TestTierCrossingSpill:
+    def test_spill_compiled_resume_interpreted(self, tmp_path):
+        """Cache keys are exec-tier independent — deliberately: the
+        tiers are byte-identical observables, so a spill written under
+        ``REPRO_EXEC=compiled`` must be fully reusable by an
+        interpreted resume (and vice versa) with zero re-execution.
+        A tier leaking into :func:`plan_key` would silently fork the
+        store into per-tier halves; this crossing locks the seam."""
+        compiled = FlipTracker(tiny_program(), seed=9,
+                               cache_dir=str(tmp_path), resume=True,
+                               exec_tier="compiled")
+        plans = compiled.make_plans(loop_instance(compiled),
+                                    "internal", 10)
+        first = compiled.engine.run_plans(plans,
+                                          max_instr=compiled.faulty_budget)
+        # duplicate draws may alias in-dispatch; everything else ran
+        assert first.executed > 0 and first.total == 10
+        compiled.close()
+
+        interp = FlipTracker(tiny_program(), seed=9,
+                             cache_dir=str(tmp_path), resume=True,
+                             exec_tier="interp")
+        replans = interp.make_plans(loop_instance(interp),
+                                    "internal", 10)
+        second = interp.engine.run_plans(replans,
+                                         max_instr=interp.faulty_budget)
+        interp.close()
+        assert [(p.trigger, p.mode, p.bit, p.loc) for p in plans] == \
+            [(p.trigger, p.mode, p.bit, p.loc) for p in replans]
+        assert second.executed == 0 and second.cached == 10
+        assert (second.success, second.failed, second.crashed) == \
+            (first.success, first.failed, first.crashed)
+
+
 # ---------------------------------------------------------------- engine
 class TestEngineCampaigns:
     def test_second_call_fully_cached(self):

@@ -28,6 +28,7 @@ import warnings
 
 import pytest
 
+from helpers import assert_canonical_match, small_experiment_payload
 from test_engine import loop_instance, tiny_program
 
 from repro.core import FlipTracker
@@ -568,20 +569,11 @@ class TestDaemonWire:
             assert err.value.code == protocol.ERR_UNKNOWN_JOB
 
 
-def small_experiment_payload():
-    """A tiny real-app experiment the daemon can actually execute."""
-    return {"schema_version": 1, "name": "svc-mini", "apps": ["kmeans"],
-            "seed": 20181111,
-            "specs": [{"type": "campaign", "target": "region",
-                       "region": "k_d", "kind": "internal", "n": 3}]}
-
-
 class TestDaemonJobs:
     def test_submit_watch_fetch_roundtrip(self, tmp_path):
         from repro.api import Experiment, ExperimentResult, run_experiment
         payload = small_experiment_payload()
         local = run_experiment(Experiment.from_dict(payload))
-        expected = local.to_json(provenance=False)
         with ServiceDaemon(port=0,
                            spill_dir=str(tmp_path / "svc")) as daemon:
             daemon.start()
@@ -601,7 +593,8 @@ class TestDaemonJobs:
             # the invariant: canonical image is byte-identical to the
             # local run (the daemon ran with local fallback here, but
             # provenance=False strips substrate either way)
-            assert fetched.to_json(provenance=False) == expected
+            assert_canonical_match(local, fetched,
+                                   context="daemon vs local run")
 
     def test_queue_survives_daemon_restart(self, tmp_path):
         from repro.api import ExperimentResult

@@ -1,0 +1,177 @@
+"""Property suite for the cross-experiment ResultStore.
+
+Hypothesis-driven invariants of ``repro.profiles.store`` (the JSONL +
+snapshot persistence under ``--store-dir``):
+
+* **round-trip / idempotency** — every put is readable back unchanged,
+  in-handle and after reopen; a duplicate put of the identical payload
+  is a no-op (returns False, store unchanged); a put of a *different*
+  payload under an existing key is rejected
+  (:class:`StoreCollisionError`) — content-addressing means a key
+  collision is corruption, never an update;
+* **crash consistency** — a torn final JSONL line (a writer died
+  mid-append) is ignored on reopen, every complete record before it
+  survives, and the next writer repairs the tail so its own appends
+  stay parseable;
+* **concurrent writers** — two handles appending to one store dir
+  interleaved (the O_APPEND single-write discipline) yield a store
+  whose reopen reads every record from both.
+"""
+
+import json
+import os
+import tempfile
+
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.profiles import (STORE_NAME, RegionProfile, ResultStore,
+                            StoreCollisionError, profile_key,
+                            profile_params)
+
+# JSON-able payloads a profile record could carry
+_scalars = st.none() | st.booleans() | st.integers(-2**31, 2**31) | \
+    st.text(max_size=8)
+_json = st.recursive(
+    _scalars,
+    lambda inner: st.lists(inner, max_size=3)
+    | st.dictionaries(st.text(max_size=4), inner, max_size=3),
+    max_leaves=8)
+payloads = st.dictionaries(st.text(min_size=1, max_size=6), _json,
+                           min_size=1, max_size=4)
+keys = st.text(alphabet="0123456789abcdef", min_size=8, max_size=16)
+stores = st.dictionaries(keys, payloads, min_size=1, max_size=8)
+
+_settings = settings(max_examples=25, deadline=None,
+                     suppress_health_check=[HealthCheck.too_slow])
+
+
+@given(records=stores)
+@_settings
+def test_roundtrip_and_reopen(records):
+    with tempfile.TemporaryDirectory() as tmp:
+        with ResultStore(tmp) as store:
+            for key, payload in records.items():
+                assert store.put(key, payload) is True
+            assert len(store) == len(records)
+            for key, payload in records.items():
+                assert store.get(key) == payload
+                assert key in store
+        with ResultStore(tmp) as reopened:
+            assert len(reopened) == len(records)
+            for key, payload in records.items():
+                assert reopened.get(key) == payload
+
+
+@given(records=stores)
+@_settings
+def test_duplicate_put_is_idempotent(records):
+    with tempfile.TemporaryDirectory() as tmp:
+        with ResultStore(tmp) as store:
+            for key, payload in records.items():
+                store.put(key, payload)
+            size = os.path.getsize(os.path.join(tmp, STORE_NAME))
+            for key, payload in records.items():
+                # deep-copied payload, not the same object
+                assert store.put(key, json.loads(json.dumps(payload))) \
+                    is False
+            assert len(store) == len(records)
+            # idempotent puts appended nothing
+            assert os.path.getsize(os.path.join(tmp, STORE_NAME)) == size
+
+
+@given(key=keys, payload=payloads)
+@_settings
+def test_collision_is_rejected(key, payload):
+    different = dict(payload)
+    different["__extra__"] = "collision"
+    with tempfile.TemporaryDirectory() as tmp:
+        with ResultStore(tmp) as store:
+            store.put(key, payload)
+            try:
+                store.put(key, different)
+                raise AssertionError("collision accepted")
+            except StoreCollisionError:
+                pass
+            # the stored payload is untouched
+            assert store.get(key) == payload
+
+
+@given(records=stores, torn=st.text(min_size=1, max_size=40))
+@_settings
+def test_torn_final_line_is_ignored_and_repaired(records, torn):
+    with tempfile.TemporaryDirectory() as tmp:
+        with ResultStore(tmp) as store:
+            for key, payload in records.items():
+                store.put(key, payload)
+        path = os.path.join(tmp, STORE_NAME)
+        with open(path, "a") as fh:    # a writer died mid-append
+            fh.write(torn.replace("\n", " "))
+        with ResultStore(tmp) as reopened:
+            assert len(reopened) == len(records)
+            for key, payload in records.items():
+                assert reopened.get(key) == payload
+            # the next writer repairs the tail before appending
+            assert reopened.put("f" * 20, {"fresh": True}) is True
+        with ResultStore(tmp) as again:
+            assert len(again) == len(records) + 1
+            assert again.get("f" * 20) == {"fresh": True}
+
+
+@given(left=stores, right=stores)
+@_settings
+def test_two_writers_interleaved(left, right):
+    # disjoint keyspaces: prefix either side's keys
+    left = {"a" + k: v for k, v in left.items()}
+    right = {"b" + k: v for k, v in right.items()}
+    with tempfile.TemporaryDirectory() as tmp:
+        one, two = ResultStore(tmp), ResultStore(tmp)
+        try:
+            pending = [(one, k, v) for k, v in left.items()] + \
+                      [(two, k, v) for k, v in right.items()]
+            # deterministic interleave: alternate writers where possible
+            pending.sort(key=lambda item: item[1])
+            for store, key, payload in pending:
+                store.put(key, payload)
+            one.flush()
+            two.flush()
+            # each handle can read records the *other* handle appended
+            for key, payload in {**left, **right}.items():
+                assert one.get(key) == payload
+                assert two.get(key) == payload
+        finally:
+            one.close()
+            two.close()
+        with ResultStore(tmp) as merged:
+            assert len(merged) == len(left) + len(right)
+
+
+def test_region_profile_round_trip():
+    profile = RegionProfile(
+        app="kmeans", region="k_h", kind="internal", instance_index=0,
+        seed=20181111, n=4, cap=None, resolved_n=4,
+        region_fp="09da7da7d0aa" * 2, program_fp="f7236d4ef6" * 2,
+        plans_fp="ab" * 12, max_instr=311738,
+        counts={"success": 3, "failed": 1, "crashed": 0, "hung": 0},
+        weight=428, total_weight=856, trace_len=87246,
+        acl={"samples": 2, "mean_peak": 3.5, "max_peak": 5,
+             "divergence_rate": 0.0})
+    back = RegionProfile.from_dict(profile.to_dict())
+    assert back == profile
+    assert back.key == profile.key
+    assert back.rates()["success"] == 0.75
+
+
+def test_profile_key_is_parameter_sensitive():
+    fp = "0" * 24
+    base = profile_params(kind="internal", seed=1, instance_index=0,
+                          n=4, cap=None, acl_samples=0)
+    assert profile_key(fp, base) == profile_key(fp, dict(base))
+    for tweak in ({"kind": "input"}, {"seed": 2}, {"n": 5},
+                  {"instance_index": 1}, {"acl_samples": 1}):
+        other = profile_params(**{**{"kind": "internal", "seed": 1,
+                                     "instance_index": 0, "n": 4,
+                                     "cap": None, "acl_samples": 0},
+                                  **tweak})
+        assert profile_key(fp, other) != profile_key(fp, base), tweak
+    assert profile_key("1" * 24, base) != profile_key(fp, base)

@@ -23,6 +23,10 @@ Two checks, both fatal on failure:
 4. **Service drift check** — ``docs/service.md`` must document
    ``DEFAULT_REGISTRY_PORT``, the exact ``JOB_STATES`` lifecycle, and
    every v3 service op / error code by name.
+5. **Profiles drift check** — ``docs/profiles.md`` must document the
+   schema/store constants ``repro.profiles`` actually exposes, the
+   reuse tiers in ``REUSE_TIERS`` order, and every ``RegionProfile``
+   field and outcome bucket by name.
 """
 
 from __future__ import annotations
@@ -99,7 +103,8 @@ def section_table(text: str, heading: str,
         if not cells or set(cells[0]) <= {"-", " ", ":"}:
             continue  # separator row
         rows.append(cells)
-    if rows and rows[0][0].lower() in ("constant", "op", "code", "state"):
+    if rows and rows[0][0].lower() in ("constant", "op", "code", "state",
+                                       "tier"):
         rows = rows[1:]  # header row
     return rows
 
@@ -168,7 +173,8 @@ def check_experiment_drift() -> list:
     # every dataclass field must appear in a field table / field list
     for cls, extra in ((specs.Experiment, {"schema_version"}),
                        (specs.CampaignSpec, set()),
-                       (specs.AnalysisSpec, set())):
+                       (specs.AnalysisSpec, set()),
+                       (specs.ProfileSpec, set())):
         names = {f.name for f in dataclasses.fields(cls)} | extra
         for name in sorted(names):
             if f"`{name}`" not in text:
@@ -216,9 +222,56 @@ def check_service_drift() -> list:
     return errors
 
 
+def check_profiles_drift() -> list:
+    sys.path.insert(0, str(REPO / "src"))
+    import dataclasses
+
+    from repro import profiles
+
+    text = (REPO / "docs" / "profiles.md").read_text(encoding="utf-8")
+    errors = []
+
+    expected_constants = {
+        "PROFILE_SCHEMA_VERSION": profiles.PROFILE_SCHEMA_VERSION,
+        "STORE_VERSION": profiles.STORE_VERSION,
+        "STORE_NAME": profiles.STORE_NAME,
+        "INDEX_NAME": profiles.INDEX_NAME,
+    }
+    documented = {row[0]: row[1]
+                  for row in section_table(text, "Constants",
+                                           source="docs/profiles.md")}
+    for name, value in expected_constants.items():
+        if name not in documented:
+            errors.append(f"profiles.md Constants: {name} undocumented")
+        elif documented[name] != str(value):
+            errors.append(f"profiles.md Constants: {name} documented as "
+                          f"{documented[name]!r}, code says {value!r}")
+    for name in documented:
+        if name not in expected_constants:
+            errors.append(f"profiles.md Constants: {name} documented but "
+                          f"not drift-checked (extend tools/check_docs.py)")
+
+    doc_tiers = [row[0] for row in
+                 section_table(text, "Reuse tiers",
+                               source="docs/profiles.md")]
+    if doc_tiers != list(profiles.REUSE_TIERS):
+        errors.append(f"profiles.md reuse-tier table {doc_tiers} != "
+                      f"profiles.REUSE_TIERS {list(profiles.REUSE_TIERS)}")
+
+    # every profile field and outcome bucket must be discussed by name
+    from repro.profiles import profile as profile_mod
+    names = [f.name for f in dataclasses.fields(profiles.RegionProfile)]
+    for name in (*names, *profile_mod.OUTCOMES):
+        if f"`{name}`" not in text:
+            errors.append(f"profiles.md: RegionProfile field/outcome "
+                          f"{name!r} undocumented")
+    return errors
+
+
 def main() -> int:
     errors = (check_links() + check_protocol_drift()
-              + check_experiment_drift() + check_service_drift())
+              + check_experiment_drift() + check_service_drift()
+              + check_profiles_drift())
     for error in errors:
         print(f"FAIL: {error}", file=sys.stderr)
     if errors:
