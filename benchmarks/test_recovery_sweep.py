@@ -1,0 +1,91 @@
+"""RecoverySweep: overhead vs outcome across recovery policies x apps.
+
+The ``repro.recovery`` acceptance benchmark: every policy runs the
+*identical* fault population (the same CRC-keyed plan streams plain
+campaigns draw) on every studied app's loop regions, so the per-policy
+outcome distributions are directly comparable.  Reported per (app,
+policy) cell: the outcome distribution (ok / sdc / crash / abort) and
+the overhead counters (detector checks, re-executed instructions,
+checkpointed state words).
+
+Qualitative shape asserted, not absolute numbers:
+
+* ``abort`` is the detection-only baseline — zero restore machinery
+  (no checkpoints, no re-execution), and every detected fault ends the
+  run, so its success count is a *floor* for the restoring policies;
+* ``recompute-region`` turns detections into recoveries: it re-executes
+  work (> 0 across the sweep) and completes at least as many runs
+  successfully as ``abort`` on every app;
+* ``rollback`` pays checkpoint overhead even on clean runs;
+* every policy runs the same number of protected runs per cell, and
+  the four final states always partition them.
+"""
+
+from conftest import scaled, tracker
+
+from repro.api import Experiment, RecoverySpec, run_experiment
+from repro.recovery import RecoveryResult
+
+APPS = ("kmeans", "cg")
+POLICIES = ("abort", "rollback", "recompute-region", "forward-correct")
+N = scaled(4)
+
+
+def _sweep() -> dict:
+    """{(app, policy): summed counts across the app's loop regions}."""
+    cells = {}
+    for app in APPS:
+        experiment = Experiment(
+            name=f"recovery-sweep-{app}", apps=(app,), seed=20181111,
+            specs=tuple(RecoverySpec(policy=policy, detector="checksum",
+                                     kind="internal", n=N)
+                        for policy in POLICIES))
+        result = run_experiment(experiment, tracker_factory=tracker)
+        for sr in result.spec_results():
+            totals = {name: 0 for name in RecoveryResult._COUNT_FIELDS}
+            for region in sr.recovery["regions"]:
+                for name, value in region["counts"].items():
+                    totals[name] += value
+            cells[(app, sr.recovery["policy"])] = totals
+    return cells
+
+
+def test_recovery_sweep(benchmark):
+    cells = benchmark.pedantic(_sweep, rounds=1, iterations=1)
+
+    header = (f"\n{'app':8s} {'policy':17s} {'runs':>4s} {'ok':>3s} "
+              f"{'sdc':>3s} {'crash':>5s} {'abort':>5s} {'det':>3s} "
+              f"{'rec':>3s} {'fwd':>3s} {'checks':>6s} {'re-exec':>8s} "
+              f"{'ckpt-words':>10s}")
+    print(header)
+    for (app, policy), c in cells.items():
+        runs = c["success"] + c["failed"] + c["crashed"] + c["aborted"]
+        print(f"{app:8s} {policy:17s} {runs:4d} {c['success']:3d} "
+              f"{c['failed']:3d} {c['crashed']:5d} {c['aborted']:5d} "
+              f"{c['detected']:3d} {c['recovered']:3d} "
+              f"{c['forwarded']:3d} {c['checks']:6d} "
+              f"{c['re_executed']:8d} {c['checkpoint_words']:10d}")
+
+    assert len(cells) == len(APPS) * len(POLICIES)
+    runs_per_app = {}
+    for (app, policy), c in cells.items():
+        runs = c["success"] + c["failed"] + c["crashed"] + c["aborted"]
+        # every policy protects the identical fault population
+        assert runs == runs_per_app.setdefault(app, runs)
+        assert runs >= 2 * N      # >= two loop regions per app
+        assert c["checks"] > 0    # protection was actually active
+
+    for app in APPS:
+        baseline = cells[(app, "abort")]
+        # detection-only baseline: no restore machinery at all
+        assert baseline["recovered"] == baseline["re_executed"] \
+            == baseline["checkpoints"] == baseline["checkpoint_words"] == 0
+        for policy in ("rollback", "recompute-region", "forward-correct"):
+            assert cells[(app, policy)]["success"] >= baseline["success"], \
+                (app, policy)
+        assert cells[(app, "rollback")]["checkpoints"] > 0
+
+    # the sweep saw real faults, and restoring policies repaired work
+    assert sum(c["detected"] for c in cells.values()) > 0
+    assert sum(cells[(app, "recompute-region")]["re_executed"]
+               for app in APPS) > 0

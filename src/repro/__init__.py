@@ -32,8 +32,8 @@ paper-vs-measured record of every table and figure.
 """
 
 from repro.api import (AnalysisSpec, CampaignSpec, Experiment,
-                       ExperimentResult, ProfileSpec, SpecError,
-                       SpecResult, run_experiment)
+                       ExperimentResult, ProfileSpec, RecoverySpec,
+                       SpecError, SpecResult, run_experiment)
 from repro.apps import ALL_APPS, REGISTRY, Program
 from repro.core import FlipTracker, RunAnalysis
 from repro.dddg import DDDG, RegionComparison, build_dddg, to_dot
@@ -42,20 +42,25 @@ from repro.faults import CampaignResult, Manifestation, sample_size
 from repro.patterns import PATTERNS, PatternInstance, compute_rates
 from repro.profiles import (RegionProfile, ResultStore, compose_profiles,
                             reuse_tier)
+from repro.recovery import (RecoveryOutcome, RecoveryPlan, RecoveryResult,
+                            run_recovery_plan)
 from repro.regions import region_fingerprint, region_fingerprints
 from repro.vm import FaultPlan, Interpreter
 
-__version__ = "1.3.0"
+__version__ = "1.4.0"
 
 __all__ = [
     "ALL_APPS", "REGISTRY", "Program", "FlipTracker", "RunAnalysis",
-    "CampaignSpec", "AnalysisSpec", "ProfileSpec", "Experiment",
+    "CampaignSpec", "AnalysisSpec", "ProfileSpec", "RecoverySpec",
+    "Experiment",
     "ExperimentResult", "SpecResult", "SpecError", "run_experiment",
     "DDDG", "RegionComparison", "build_dddg", "to_dot",
     "ExecutionEngine", "PlanCache", "ProgressEvent",
     "CampaignResult", "Manifestation", "sample_size", "PATTERNS",
     "PatternInstance", "compute_rates", "FaultPlan", "Interpreter",
     "RegionProfile", "ResultStore", "compose_profiles", "reuse_tier",
+    "RecoveryPlan", "RecoveryOutcome", "RecoveryResult",
+    "run_recovery_plan",
     "region_fingerprint", "region_fingerprints",
     "__version__",
 ]

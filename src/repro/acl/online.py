@@ -1,0 +1,232 @@
+"""Online-check extraction: golden-trace invariants for in-run detectors.
+
+The ACL machinery in this package explains *post hoc* where corruption
+died.  This module turns the same golden evidence into checks cheap
+enough to run *inside* a faulty execution, at region-instance exit
+boundaries (see :mod:`repro.recovery`):
+
+* **boundary images** — one traced golden replay maps every region
+  instance's record-index span to *dynamic-instruction* boundaries
+  (record index != dyn index whenever NOPs execute: a NOP advances the
+  dynamic count but appends no record, so boundaries must be derived by
+  replay, never assumed equal) and captures the stack pointer, frame
+  depth and a checksum of all live state at each exit;
+* **value ranges** — per instance, the memory locations the region
+  wrote in the golden run with their finite value range (the ``range``
+  detector's evidence, ACL-informed: these are exactly the locations a
+  flip inside the region can leave corrupted);
+* **forward-safe regions** — regions whose written locations are
+  overwrite-dominated in the golden flow (the next access after the
+  instance is a write, not a read — Table I's overwrite pattern), which
+  the ``forward-correct`` policy may ride through without restoring.
+
+Everything here is a pure function of the program (golden trace +
+region model), so every worker process, shard server and exec tier
+derives the **identical** context — the determinism contract recovery
+results inherit from campaigns.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Optional, Sequence
+
+from repro.trace.events import R_DLOC, R_DVAL
+from repro.trace.index import TraceIndex
+from repro.vm.bitops import MASK64, float64_to_bits
+
+#: an instance is forward-safe when at least this fraction of its
+#: written locations are dead-on-exit by overwrite in the golden flow
+FORWARD_THRESHOLD = 0.9
+
+_FNV_OFFSET = 0xCBF29CE484222325
+_FNV_PRIME = 0x100000001B3
+_M64 = MASK64
+
+
+def state_checksum(mem: Sequence, sp: int, depth: int) -> int:
+    """FNV-1a fold of the live state image (``mem[:sp]``, sp, depth).
+
+    Values hash by their bit images (two's-complement for ints, binary64
+    for floats) with a type tag, never by Python ``hash()`` — the result
+    must be identical across processes regardless of PYTHONHASHSEED.
+    """
+    h = _FNV_OFFSET
+    h = ((h ^ (sp & _M64)) * _FNV_PRIME) & _M64
+    h = ((h ^ (depth & _M64)) * _FNV_PRIME) & _M64
+    for v in mem[:sp]:
+        if v.__class__ is int:
+            h = ((h ^ 1) * _FNV_PRIME) & _M64
+            h = ((h ^ (v & _M64)) * _FNV_PRIME) & _M64
+        else:
+            h = ((h ^ 2) * _FNV_PRIME) & _M64
+            h = ((h ^ float64_to_bits(v)) * _FNV_PRIME) & _M64
+    return h
+
+
+@dataclass(frozen=True)
+class BoundaryInvariant:
+    """Golden-run facts about one region instance's exit boundary."""
+
+    region: str
+    kind: str            # region kind ("loop"/"straight")
+    index: int           # instance index within the region
+    entry_dyn: int       # dynamic instruction index of the first instr
+    exit_dyn: int        # dynamic instruction index one past the last
+    sp: int              # stack pointer at exit
+    depth: int           # frame-stack depth at exit
+    checksum: int        # state_checksum of the exit state
+    locs: tuple          # memory locations the instance wrote (sorted)
+    lo: float            # min finite value written (0.0 when no writes)
+    hi: float            # max finite value written
+    nonfinite: bool      # the golden run itself wrote inf/nan here
+    forward_frac: float  # fraction of locs dead-on-exit by overwrite
+
+
+@dataclass(frozen=True)
+class RecoveryContext:
+    """Everything the online detectors and policies need, precomputed."""
+
+    invariants: tuple            # BoundaryInvariant, in execution order
+    forward_ok: frozenset        # region names safe to forward-correct
+    total_dyn: int               # golden run's dynamic instruction count
+
+    def instance_at(self, pos: int) -> BoundaryInvariant:
+        return self.invariants[pos]
+
+
+def _instance_values(records: Sequence, start: int, end: int):
+    """Written memory locations + value stats for records [start, end)."""
+    locs: set = set()
+    lo: Optional[float] = None
+    hi: Optional[float] = None
+    nonfinite = False
+    for t in range(start, end):
+        rec = records[t]
+        dloc = rec[R_DLOC]
+        if dloc is None or dloc < 0:
+            continue
+        locs.add(dloc)
+        v = rec[R_DVAL]
+        if v.__class__ is int or math.isfinite(v):
+            if lo is None or v < lo:
+                lo = v
+            if hi is None or v > hi:
+                hi = v
+        else:
+            nonfinite = True
+    return locs, (0.0 if lo is None else lo), (0.0 if hi is None else hi), \
+        nonfinite
+
+
+def _forward_fraction(index: TraceIndex, locs, end: int) -> float:
+    """Fraction of ``locs`` whose next access at/after ``end`` is a write."""
+    if not locs:
+        return 0.0
+    dead = 0
+    for loc in locs:
+        nw = index.next_write_at_or_after(loc, end)
+        nr = index.first_read_at_or_after(loc, end)
+        if nw < nr:
+            dead += 1
+    return dead / len(locs)
+
+
+def build_recovery_context(program, records: Sequence,
+                           index: TraceIndex,
+                           instances: Sequence) -> RecoveryContext:
+    """Derive the online-check context from one golden replay.
+
+    ``records``/``index``/``instances`` are the tracker's golden trace,
+    its read/write index and the time-ordered region instances.  The
+    replay walks the program once on the interpreter tier (state is
+    byte-identical on either tier, so the captured checksums match live
+    compiled executions too), stopping at every instance boundary; the
+    record stream is truncated as it goes, so peak memory stays at one
+    boundary span rather than a second full trace.
+    """
+    interp = program.fresh_interpreter(trace=True, exec_tier="interp")
+    interp.start(program.entry)
+    replay = interp.records
+    base = 0  # absolute record index of replay[0]
+
+    def run_to_record(target: int) -> None:
+        nonlocal base
+        # dyn advances at least one per record appended, so stepping by
+        # the outstanding record count never overshoots the target
+        while base + len(replay) < target:
+            need = target - base - len(replay)
+            if interp.step(need) == "done":
+                break
+        base += len(replay)
+        del replay[:]
+
+    invariants = []
+    ordered = sorted(instances, key=lambda inst: inst.start)
+    for inst in ordered:
+        run_to_record(inst.start)
+        entry_dyn = interp.dyn_count
+        run_to_record(inst.end)
+        exit_dyn = interp.dyn_count
+        locs, lo, hi, nonfinite = _instance_values(records, inst.start,
+                                                   inst.end)
+        invariants.append(BoundaryInvariant(
+            region=inst.region.name, kind=inst.region.kind,
+            index=inst.index, entry_dyn=entry_dyn, exit_dyn=exit_dyn,
+            sp=interp.sp, depth=len(interp.frames),
+            checksum=state_checksum(interp.mem, interp.sp,
+                                    len(interp.frames)),
+            locs=tuple(sorted(locs)), lo=lo, hi=hi, nonfinite=nonfinite,
+            forward_frac=_forward_fraction(index, locs, inst.end)))
+    while interp.step(1 << 20) != "done":
+        del replay[:]  # keep the tail from re-growing a full trace copy
+    total_dyn = interp.dyn_count
+
+    by_region: dict = {}
+    for inv in invariants:
+        by_region.setdefault(inv.region, []).append(inv)
+    forward_ok = frozenset(
+        name for name, invs in by_region.items()
+        if all(inv.locs and inv.forward_frac >= FORWARD_THRESHOLD
+               for inv in invs))
+    return RecoveryContext(invariants=tuple(invariants),
+                           forward_ok=forward_ok, total_dyn=total_dyn)
+
+
+def detect(detector: str, inv: BoundaryInvariant, interp) -> bool:
+    """Run one online detector at ``inv``'s exit boundary.
+
+    Returns True when the live state deviates from the golden boundary
+    facts.  Pre-fault state is bit-identical to the golden run, so a
+    detector can never fire before the flip.
+    """
+    if detector == "checksum":
+        return (interp.sp != inv.sp
+                or len(interp.frames) != inv.depth
+                or state_checksum(interp.mem, interp.sp,
+                                  len(interp.frames)) != inv.checksum)
+    if detector == "invariant":
+        if interp.sp != inv.sp or len(interp.frames) != inv.depth:
+            return True
+        if inv.nonfinite:
+            return False
+        mem = interp.mem
+        for loc in inv.locs:
+            v = mem[loc]
+            if v.__class__ is not int and not math.isfinite(v):
+                return True
+        return False
+    if detector == "range":
+        mem = interp.mem
+        lo, hi = inv.lo, inv.hi
+        for loc in inv.locs:
+            v = mem[loc]
+            if v.__class__ is not int and not math.isfinite(v):
+                if not inv.nonfinite:
+                    return True
+                continue
+            if v < lo or v > hi:
+                return True
+        return False
+    raise ValueError(f"unknown detector {detector!r}")

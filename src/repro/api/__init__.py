@@ -15,19 +15,21 @@ See ``docs/experiments.md`` for the schema and batching semantics.
 """
 
 from repro.api.compile import (aggregate_patterns, compile_analysis,
-                               compile_campaign, compile_profile)
+                               compile_campaign, compile_profile,
+                               compile_recovery)
 from repro.api.result import ExperimentResult, SpecResult
 from repro.api.runner import run_experiment
 from repro.api.specs import (SCHEMA_VERSION, AnalysisSpec, CampaignSpec,
-                             Experiment, ProfileSpec, SpecError,
-                             decode_spec, encode_spec)
+                             Experiment, ProfileSpec, RecoverySpec,
+                             SpecError, decode_spec, encode_spec)
 
 __all__ = [
     "SCHEMA_VERSION", "SpecError",
-    "CampaignSpec", "AnalysisSpec", "ProfileSpec", "Experiment",
+    "CampaignSpec", "AnalysisSpec", "ProfileSpec", "RecoverySpec",
+    "Experiment",
     "SpecResult", "ExperimentResult",
     "run_experiment",
     "compile_campaign", "compile_analysis", "compile_profile",
-    "aggregate_patterns",
+    "compile_recovery", "aggregate_patterns",
     "encode_spec", "decode_spec",
 ]

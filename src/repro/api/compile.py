@@ -16,12 +16,13 @@ from __future__ import annotations
 from typing import Sequence
 
 from repro.api.specs import (DEFAULT_ITERATION_N, DEFAULT_WHOLE_PROGRAM_N,
-                             AnalysisSpec, CampaignSpec, ProfileSpec)
+                             AnalysisSpec, CampaignSpec, ProfileSpec,
+                             RecoverySpec)
 from repro.faults.sites import NoFaultSitesError
 from repro.vm.fault import FaultPlan
 
 __all__ = ["compile_campaign", "compile_analysis", "compile_profile",
-           "aggregate_patterns"]
+           "compile_recovery", "aggregate_patterns"]
 
 
 def compile_campaign(tracker, spec: CampaignSpec
@@ -88,6 +89,51 @@ def compile_profile(tracker, spec: ProfileSpec
             continue
         entries.append((region,
                         f"{program}/profile/{region}/{spec.kind}",
+                        plans))
+    return entries
+
+
+def compile_recovery(tracker, spec: RecoverySpec
+                     ) -> list[tuple[str, str, list]]:
+    """Expand one recovery spec -> ``[(region, label, plans), ...]``.
+
+    One entry per swept region of the app's chain, in chain order.
+    The underlying fault population per region is **identical** to a
+    region-target campaign with the same ``(region, kind, n,
+    instance_index)`` — same seed streams via
+    :meth:`FlipTracker.make_plans` — each plan then wrapped in a
+    :class:`~repro.recovery.plan.RecoveryPlan` carrying the spec's
+    protection configuration.  Regions without injectable sites of
+    ``spec.kind`` are skipped, not fatal (profile semantics).
+    """
+    from repro.recovery.plan import RecoveryPlan
+    program = tracker.program.name
+    entries: list[tuple[str, str, list]] = []
+    seen: set[str] = set()
+    for inst in tracker.instances():
+        if inst.index != spec.instance_index:
+            continue
+        region = inst.region.name
+        if region in seen:
+            continue
+        seen.add(region)
+        if spec.region is not None and region != spec.region:
+            continue
+        if spec.region is None and spec.loop_only \
+                and inst.region.kind != "loop":
+            continue
+        try:
+            faults = tracker.make_plans(inst, spec.kind, spec.n)
+        except NoFaultSitesError:
+            continue
+        plans = [RecoveryPlan(fault=f, detector=spec.detector,
+                              policy=spec.policy,
+                              checkpoint_every=spec.checkpoint_every,
+                              max_recoveries=spec.max_recoveries)
+                 for f in faults]
+        entries.append((region,
+                        f"{program}/recover/{region}/{spec.policy}/"
+                        f"{spec.detector}",
                         plans))
     return entries
 

@@ -36,8 +36,10 @@ __all__ = ["SpecResult", "ExperimentResult"]
 class SpecResult:
     """Outcome of one spec applied to one app.
 
-    Exactly one of ``campaign`` / ``patterns`` / ``profile`` is set,
-    matching ``mode``.  ``patterns`` uses the canonical wire image —
+    Exactly one of ``campaign`` / ``patterns`` / ``profile`` /
+    ``recovery`` is set, matching ``mode``.  ``recovery`` is the
+    payload documented in ``docs/recovery.md``: per-region protected
+    outcome counts for one (policy, detector) cell.  ``patterns`` uses the canonical wire image —
     region name to *sorted* pattern-mnemonic list — identical to what
     the ``ANALYZE`` protocol op ships (see ``docs/protocol.md``).
     ``profile`` is the payload documented in ``docs/profiles.md``:
@@ -50,10 +52,12 @@ class SpecResult:
     index: int                      #: position in ``Experiment.specs``
     app: str
     label: str
-    mode: str            #: ``"campaign"`` | ``"analysis"`` | ``"profile"``
+    #: ``"campaign"`` | ``"analysis"`` | ``"profile"`` | ``"recovery"``
+    mode: str
     campaign: Optional[CampaignResult] = None
     patterns: Optional[dict[str, list[str]]] = None
     profile: Optional[dict] = None
+    recovery: Optional[dict] = None
 
     def pattern_sets(self) -> dict[str, set[str]]:
         """``patterns`` as mutable sets (the legacy in-memory shape)."""
@@ -85,6 +89,10 @@ class SpecResult:
                 # store, reuse tier) is substrate, not outcome
                 profile.pop("sources", None)
             payload["profile"] = profile
+        if self.recovery is not None:
+            # every recovery field is tier/backend-invariant by the
+            # outcome contract (docs/recovery.md) — nothing to strip
+            payload["recovery"] = dict(self.recovery)
         return payload
 
     @staticmethod
@@ -104,7 +112,8 @@ class SpecResult:
         return SpecResult(index=payload["index"], app=payload["app"],
                           label=payload["label"], mode=payload["mode"],
                           campaign=campaign, patterns=patterns,
-                          profile=payload.get("profile"))
+                          profile=payload.get("profile"),
+                          recovery=payload.get("recovery"))
 
 
 @dataclass

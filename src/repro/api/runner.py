@@ -18,8 +18,9 @@ number of engine fan-outs:
 
 Dispatch order is deterministic: apps in ``Experiment.apps`` order;
 within an app, campaign kinds in order of first appearance in
-``specs``, then profile specs in ``specs`` order, then analyses;
-within a kind, specs in ``specs`` order.  Per-spec results are
+``specs``, then profile specs in ``specs`` order, then recovery
+specs in ``specs`` order (one fan-out each, grouped per region),
+then analyses; within a kind, specs in ``specs`` order.  Per-spec results are
 byte-identical to calling the legacy one-target methods in that same
 order on a fresh tracker (the demux contract of ``run_plan_groups``);
 the parity suite in ``tests/test_api_parity.py`` locks this in.
@@ -43,10 +44,11 @@ import time
 from typing import Callable, Optional
 
 from repro.api.compile import (aggregate_patterns, compile_analysis,
-                               compile_campaign, compile_profile)
+                               compile_campaign, compile_profile,
+                               compile_recovery)
 from repro.api.result import ExperimentResult, SpecResult
 from repro.api.specs import (AnalysisSpec, CampaignSpec, Experiment,
-                             ProfileSpec)
+                             ProfileSpec, RecoverySpec)
 from repro.engine.progress import ProgressCallback
 from repro.faults.campaign import CampaignResult
 
@@ -153,11 +155,15 @@ def _run_app(experiment: Experiment, app: str, tracker,
     served: dict[str, list[tuple[int, str, CampaignResult]]] = {}
     fresh_campaigns: list[tuple[int, CampaignSpec, str]] = []
     profile_jobs: list[_ProfileJob] = []
+    recoveries: list[tuple[int, RecoverySpec, list]] = []
     analyses: list[tuple[int, str, list, dict]] = []
     for index, spec in enumerate(experiment.specs):
         if spec.app is not None and spec.app != app:
             continue
-        if isinstance(spec, CampaignSpec):
+        if isinstance(spec, RecoverySpec):
+            recoveries.append((index, spec,
+                               compile_recovery(tracker, spec)))
+        elif isinstance(spec, CampaignSpec):
             label, plans = compile_campaign(tracker, spec)
             hit = reuse.lookup_campaign(spec, label, plans) \
                 if reuse is not None else None
@@ -175,7 +181,7 @@ def _run_app(experiment: Experiment, app: str, tracker,
             label, plans, found = compile_analysis(tracker, spec)
             analyses.append((index, label, plans, found))
     if not campaign_groups and not served and not profile_jobs \
-            and not analyses:
+            and not recoveries and not analyses:
         return
     budget = tracker.faulty_budget
     engine = tracker.engine
@@ -216,6 +222,36 @@ def _run_app(experiment: Experiment, app: str, tracker,
     for job in profile_jobs:
         job.execute(app, engine, budget, results, dispatches,
                     on_progress)
+
+    for index, spec, entries in recoveries:
+        # one fan-out per recovery spec (one plan group per region, so
+        # dispatch accounting stays per-region like profiles do)
+        label = f"{tracker.program.name}/recover/{spec.policy}/" \
+                f"{spec.detector}"
+        if entries:
+            t0 = time.perf_counter()
+            before = engine.executed
+            group_results = engine.run_plan_groups(
+                [(glabel, plans) for _region, glabel, plans in entries],
+                max_instr=budget, on_progress=on_progress)
+            dispatches.append(_provenance(
+                app, "recovery", spec.kind,
+                [(index, glabel, plans)
+                 for _region, glabel, plans in entries],
+                engine, before, t0))
+        else:
+            group_results = []
+        payload = {
+            "policy": spec.policy, "detector": spec.detector,
+            "kind": spec.kind,
+            "regions": [{
+                "region": region, "label": glabel,
+                "n": result.total, "counts": result.counts(),
+            } for (region, glabel, _plans), result
+                in zip(entries, group_results)],
+        }
+        results.append(SpecResult(index=index, app=app, label=label,
+                                  mode="recovery", recovery=payload))
 
     if analyses:
         t0 = time.perf_counter()

@@ -7,7 +7,7 @@ an :class:`Experiment` bundles many specs over one or many apps plus
 everything needed to reproduce them (name, seed, backend config), so a
 whole figure is a single serializable artifact instead of a script.
 
-Four spec kinds:
+Five spec kinds:
 
 :class:`CampaignSpec`
     One untraced success-rate campaign: a target
@@ -23,6 +23,10 @@ Four spec kinds:
     experiment's ``store_dir``/``incremental`` settings, profiled
     regions whose fingerprints are already in the cross-experiment
     store are served without dispatching.
+:class:`RecoverySpec`
+    One protected-run sweep (:mod:`repro.recovery`): every chain
+    region's fault population re-run under an online detector and a
+    recovery policy, for overhead-vs-outcome comparisons.
 :class:`Experiment`
     ``specs`` over ``apps``, plus seed and engine/backend settings.
 
@@ -178,11 +182,57 @@ class ProfileSpec:
             raise SpecError("acl_samples must be >= 0")
 
 
-Spec = Union[CampaignSpec, AnalysisSpec, ProfileSpec]
+@dataclass(frozen=True)
+class RecoverySpec:
+    """Protected-run sweep: one (policy, detector) cell for one app.
+
+    Every region of the app's chain at ``instance_index`` (``loop_only``
+    skips straight setup regions; regions without injectable sites are
+    skipped either way, like profiles) gets ``n`` protected runs drawn
+    from the *same* deterministic plan streams a plain campaign uses —
+    so a recovery sweep's outcome distribution is directly comparable
+    to the unprotected campaign over the identical fault population.
+    ``region`` restricts the sweep to one region.  The remaining knobs
+    mirror :class:`~repro.recovery.plan.RecoveryPlan`.
+    """
+
+    policy: str = "recompute-region"
+    detector: str = "checksum"
+    kind: str = "internal"
+    region: Optional[str] = None
+    instance_index: int = 0
+    n: int = 8
+    checkpoint_every: int = 1
+    max_recoveries: int = 4
+    loop_only: bool = True
+    app: Optional[str] = None
+
+    def __post_init__(self) -> None:
+        from repro.recovery.plan import DETECTORS, POLICIES
+        if self.policy not in POLICIES:
+            raise SpecError(f"recovery policy must be one of "
+                            f"{POLICIES}, got {self.policy!r}")
+        if self.detector not in DETECTORS:
+            raise SpecError(f"recovery detector must be one of "
+                            f"{DETECTORS}, got {self.detector!r}")
+        if self.kind not in INJECTION_KINDS:
+            raise SpecError(f"recovery kind must be one of "
+                            f"{INJECTION_KINDS}, got {self.kind!r}")
+        if self.n < 1:
+            raise SpecError(f"n must be >= 1, got {self.n}")
+        if self.instance_index < 0:
+            raise SpecError("instance_index must be >= 0")
+        if self.checkpoint_every < 1:
+            raise SpecError("checkpoint_every must be >= 1")
+        if self.max_recoveries < 0:
+            raise SpecError("max_recoveries must be >= 0")
+
+
+Spec = Union[CampaignSpec, AnalysisSpec, ProfileSpec, RecoverySpec]
 
 #: JSON ``type`` discriminator <-> spec class
 SPEC_TYPES = {"campaign": CampaignSpec, "analysis": AnalysisSpec,
-              "profile": ProfileSpec}
+              "profile": ProfileSpec, "recovery": RecoverySpec}
 
 
 @dataclass(frozen=True)
@@ -230,9 +280,10 @@ class Experiment:
             raise SpecError("experiment needs at least one spec")
         for spec in self.specs:
             if not isinstance(spec, (CampaignSpec, AnalysisSpec,
-                                     ProfileSpec)):
+                                     ProfileSpec, RecoverySpec)):
                 raise SpecError(f"specs must be CampaignSpec, "
-                                f"AnalysisSpec or ProfileSpec, got "
+                                f"AnalysisSpec, ProfileSpec or "
+                                f"RecoverySpec, got "
                                 f"{type(spec).__name__}")
             if spec.app is not None and spec.app not in self.apps:
                 raise SpecError(f"spec pins app {spec.app!r} which is "

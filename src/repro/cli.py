@@ -17,6 +17,13 @@ Exposes the FlipTracker pipeline for interactive exploration:
                estimate; with ``--store-dir``/``--incremental`` a
                modified program re-injects only changed regions
                (``docs/profiles.md``)
+``recover``    protected runs: online detectors at region boundaries +
+               checkpoint/rollback recovery policies, swept over the
+               same fault population as a plain campaign
+               (``docs/recovery.md``)
+``store``      operate on a cross-experiment profile store
+               (``store compact`` rewrites the JSONL keeping only
+               live keys)
 ``dot``        DDDG DOT export of a region instance (Graphviz)
 ``sample``     Leveugle sample-size calculator (Section IV-C)
 ``serve``      run a TCP shard server for ``--backend socket`` clients
@@ -372,6 +379,90 @@ def cmd_profiles(args) -> int:
     return 0
 
 
+def cmd_recover(args) -> int:
+    from repro.api import (Experiment, RecoverySpec, SpecError,
+                           run_experiment)
+    policies = [p.strip() for p in args.policy.split(",") if p.strip()]
+    try:
+        specs = tuple(
+            RecoverySpec(policy=policy, detector=args.detector,
+                         kind=args.kind, region=args.region,
+                         instance_index=args.instance, n=args.n,
+                         checkpoint_every=args.checkpoint_every,
+                         max_recoveries=args.max_recoveries)
+            for policy in policies)
+    except SpecError as exc:
+        print(f"bad recovery spec: {exc}", file=sys.stderr)
+        return 1
+    experiment = Experiment(
+        name=f"{args.app}-recover", apps=(args.app,), specs=specs,
+        seed=args.seed, workers=args.workers, backend=args.backend,
+        backend_addr=args.backend_addr, cache_dir=args.cache_dir,
+        resume=args.resume, shard_size=args.shard_size)
+    on_progress = None
+    if args.progress:
+        def on_progress(event):  # noqa: E306 - tiny local callback
+            print(f"  {event}", file=sys.stderr)
+    result = run_experiment(experiment, on_progress=on_progress,
+                            backend_factory=_registry_backend_factory(args))
+    if args.json:
+        print(result.to_json(indent=2, provenance=not args.canonical))
+        return 0
+    rows = []
+    for sr in result.spec_results():
+        payload = sr.recovery
+        for entry in payload["regions"]:
+            c = entry["counts"]
+            rows.append([payload["policy"], entry["region"], entry["n"],
+                         c["success"], c["failed"], c["crashed"],
+                         c["aborted"], c["detected"], c["recovered"],
+                         c["forwarded"], c["re_executed"],
+                         c["checkpoint_words"]])
+    print(format_table(
+        ["Policy", "Region", "n", "OK", "SDC", "Crash", "Abort", "Det",
+         "Rec", "Fwd", "ReExec", "CkptWords"], rows,
+        title=f"{args.app}: protected runs "
+              f"(detector={args.detector}, {args.kind} flips, "
+              f"seed={args.seed})"))
+    for sr in result.spec_results():
+        payload = sr.recovery
+        totals = {k: sum(e["counts"][k] for e in payload["regions"])
+                  for k in ("success", "failed", "crashed", "aborted",
+                            "detected", "recovered", "forwarded",
+                            "checks", "re_executed", "checkpoint_words")}
+        n = sum(e["n"] for e in payload["regions"])
+        rate = totals["success"] / n if n else 0.0
+        print(f"{payload['policy']}: {n} runs, success_rate={rate:.3f}, "
+              f"detected={totals['detected']} "
+              f"recovered={totals['recovered']} "
+              f"forwarded={totals['forwarded']}; overhead: "
+              f"{totals['checks']} checks, "
+              f"{totals['re_executed']} re-executed instrs, "
+              f"{totals['checkpoint_words']} checkpointed words")
+    return 0
+
+
+def cmd_store(args) -> int:
+    if args.store_dir is None:
+        print("store: --store-dir is required (the store to operate on)",
+              file=sys.stderr)
+        return 1
+    from repro.profiles import ResultStore
+    if args.store_command == "compact":
+        store = ResultStore(args.store_dir)
+        try:
+            stats = store.compact()
+        finally:
+            store.close()
+        print(f"compacted {args.store_dir}: {stats['records']} live "
+              f"records, {stats['bytes']} bytes "
+              f"({stats['reclaimed']} reclaimed)")
+        return 0
+    print(f"unknown store command {args.store_command!r}",
+          file=sys.stderr)  # pragma: no cover - argparse gates this
+    return 1
+
+
 def _apply_engine_overrides(experiment, args):
     """Fold explicitly-set global engine flags into a spec'd experiment.
 
@@ -651,6 +742,57 @@ def build_parser() -> argparse.ArgumentParser:
     sp.add_argument("--progress", action="store_true",
                     help="stream per-shard progress to stderr")
 
+    sp = app_cmd("recover", "protected runs: online detectors + "
+                            "recovery policies (docs/recovery.md)")
+    sp.add_argument("--policy", default="recompute-region",
+                    metavar="POLICY[,..]",
+                    help="recovery policies to sweep, comma-separated "
+                         "(abort, rollback, recompute-region, "
+                         "forward-correct); one spec per policy over "
+                         "the identical fault population")
+    sp.add_argument("--detector", choices=("range", "invariant",
+                                           "checksum"),
+                    default="checksum",
+                    help="online check run at region exit boundaries")
+    sp.add_argument("--kind", choices=("input", "internal"),
+                    default="internal")
+    sp.add_argument("--region", default=None,
+                    help="restrict the sweep to one region "
+                         "(default: every loop region of the chain)")
+    sp.add_argument("--instance", type=int, default=0)
+    sp.add_argument("-n", type=int, default=8,
+                    help="protected runs per region (same seed streams "
+                         "as an unprotected campaign)")
+    sp.add_argument("--checkpoint-every", type=_positive_int, default=1,
+                    help="rollback policy: snapshot every Nth region "
+                         "entry")
+    sp.add_argument("--max-recoveries", type=int, default=4,
+                    help="restore attempts before a run stops "
+                         "detecting and coasts to completion")
+    sp.add_argument("--json", action="store_true",
+                    help="emit the full ExperimentResult envelope as "
+                         "JSON instead of a summary table")
+    sp.add_argument("--canonical", action="store_true",
+                    help="with --json: strip timings/provenance "
+                         "(golden-file mode)")
+    sp.add_argument("--progress", action="store_true",
+                    help="stream per-shard progress to stderr")
+
+    sp = sub.add_parser(
+        "store", help="operate on a cross-experiment profile store "
+                      "(--store-dir)")
+    ssub = sp.add_subparsers(dest="store_command", required=True)
+    scp = ssub.add_parser(
+        "compact", help="rewrite profiles.jsonl keeping only keys live "
+                        "in index.json (atomic replace; safe alongside "
+                        "concurrent writers)")
+    # SUPPRESS so the subcommand flag never clobbers a value given at
+    # the root (`repro --store-dir ... store compact` and `repro store
+    # compact --store-dir ...` are both accepted and equivalent)
+    scp.add_argument("--store-dir", metavar="DIR",
+                     default=argparse.SUPPRESS,
+                     help="the store to compact")
+
     sp = app_cmd("dot", "DDDG DOT export")
     sp.add_argument("region")
     sp.add_argument("--instance", type=int, default=0)
@@ -693,6 +835,15 @@ def build_parser() -> argparse.ArgumentParser:
     sp.add_argument("--ttl", type=float, default=10.0,
                     help="seconds without a heartbeat before a shard "
                          "server is expired (default 10)")
+    # SUPPRESS so the subcommand flag never clobbers a value given at
+    # the root (`repro --store-dir ... registry` and `repro registry
+    # --store-dir ...` are both accepted and equivalent)
+    sp.add_argument("--store-dir", metavar="DIR",
+                    default=argparse.SUPPRESS,
+                    help="cross-experiment profile store shared by "
+                         "every job this daemon runs (fresh region "
+                         "results land here; incremental experiments "
+                         "are served from it)")
 
     sp = sub.add_parser(
         "submit", help="queue an experiment spec on the service; "
@@ -738,7 +889,8 @@ _HANDLERS = {
     "rates": cmd_rates, "dot": cmd_dot, "profiles": cmd_profiles,
     "sample": cmd_sample, "serve": cmd_serve, "run": cmd_run,
     "registry": cmd_registry, "submit": cmd_submit, "jobs": cmd_jobs,
-    "watch": cmd_watch, "fetch": cmd_fetch,
+    "watch": cmd_watch, "fetch": cmd_fetch, "recover": cmd_recover,
+    "store": cmd_store,
 }
 
 

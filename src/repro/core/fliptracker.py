@@ -131,6 +131,7 @@ class FlipTracker:
         self._instances: Optional[list[RegionInstance]] = None
         self._io_cache: dict[tuple[str, int], RegionIO] = {}
         self._rates: Optional[PatternRates] = None
+        self._recovery_ctx = None
 
     # ------------------------------------------------------------ engine
     @property
@@ -218,6 +219,21 @@ class FlipTracker:
                 self.fault_free_trace().records, self.trace_index(),
                 instance)
         return self._io_cache[key]
+
+    def recovery_context(self):
+        """Online-check context for protected runs (cached).
+
+        A pure function of the program — golden boundary images, value
+        ranges and forward-safe regions (see :mod:`repro.acl.online`) —
+        so every worker process and shard server derives the identical
+        context independently.
+        """
+        if self._recovery_ctx is None:
+            from repro.acl.online import build_recovery_context
+            self._recovery_ctx = build_recovery_context(
+                self.program, self.fault_free_trace().records,
+                self.trace_index(), self.instances())
+        return self._recovery_ctx
 
     # ------------------------------------------------------------ main loop
     def main_loop_iterations(self) -> list[RegionInstance]:

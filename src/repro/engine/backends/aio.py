@@ -47,6 +47,17 @@ _SENTINEL = object()
 
 def _worker_main(sock: socket.socket, program, tracker=None) -> None:
     """Forked child: serve shard requests over the socketpair end."""
+
+    def get_tracker():
+        # shared by ANALYZE and recovery-carrying RUN frames: reuse the
+        # tracker inherited at fork, or lazily build one private to
+        # this worker (amortized over the fleet's lifetime)
+        nonlocal tracker
+        if tracker is None:
+            from repro.core.fliptracker import FlipTracker
+            tracker = FlipTracker(program, workers=1)
+        return tracker
+
     try:
         while True:
             msg = protocol.recv_msg(sock)
@@ -58,15 +69,13 @@ def _worker_main(sock: socket.socket, program, tracker=None) -> None:
                                          "ok": True, "fp": msg.get("fp")})
                 continue
             if op == protocol.OP_ANALYZE:
-                if tracker is None:
-                    # no warmed tracker inherited: build one private to
-                    # this worker (amortized over the fleet's lifetime)
-                    from repro.core.fliptracker import FlipTracker
-                    tracker = FlipTracker(program, workers=1)
                 protocol.send_msg(
-                    sock, protocol.execute_analyze_request(tracker, msg))
+                    sock,
+                    protocol.execute_analyze_request(get_tracker(), msg))
                 continue
-            protocol.send_msg(sock, protocol.execute_request(program, msg))
+            protocol.send_msg(
+                sock, protocol.execute_request(program, msg,
+                                               tracker_factory=get_tracker))
     except (OSError, protocol.ProtocolError):  # parent went away
         pass
     finally:

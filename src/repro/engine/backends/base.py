@@ -89,11 +89,19 @@ class Backend:
 
     def run_sequential(self, plans: Sequence[FaultPlan],
                        max_instr: Optional[int]) -> list[str]:
-        """In-process reference execution (shared fallback path)."""
-        from repro.faults.campaign import run_plan
+        """In-process reference execution (shared fallback path).
+
+        Recovery plans resolve the engine's analysis tracker — the
+        session needs the golden-trace recovery context, which is a
+        pure function of the program, so this path stays byte-identical
+        to every distributed substrate.
+        """
+        from repro.faults.campaign import execute_plan
         tier = self.engine.exec_tier
-        return [run_plan(self.engine.program, plan, max_instr,
-                         exec_tier=tier).value
+        return [execute_plan(self.engine.program, plan, max_instr,
+                             exec_tier=tier,
+                             tracker_factory=self.engine
+                             ._tracker_for_analysis)
                 for plan in plans]
 
     def analyze_sequential(self, plans: Sequence[FaultPlan],

@@ -22,9 +22,11 @@ object.  The conversation between a shard client and a shard worker:
 ``run``
     ``{"op": "run", "shard": i, "max_instr": n|null, "plans": [...]}``
     with plans in the canonical :func:`~repro.engine.keys.encode_plan`
-    image; the worker answers ``{"op": "result", "shard": i,
-    "values": [...]}`` (manifestation strings, plan order) or
-    ``{"op": "error", "code": ..., "error": ...}``.
+    image (v4: a plan may carry a ``recovery`` sub-object selecting a
+    protected run); the worker answers ``{"op": "result", "shard": i,
+    "values": [...]}`` (outcome strings — manifestation values, or
+    encoded recovery outcomes — in plan order) or ``{"op": "error",
+    "code": ..., "error": ...}``.
 
 ``analyze``
     ``{"op": "analyze", "shard": i, "max_instr": n|null,
@@ -73,9 +75,12 @@ _HEADER = struct.Struct(">I")
 #: vocabulary changes; v1 was the PR-2 RUN-only protocol, v2 added the
 #: ANALYZE op, the ``pv`` handshake field and error codes, v3 added
 #: the service ops (registry membership, host resolution and the
-#: persistent job queue).  The handshake and ``docs/protocol.md`` both
-#: reference this constant.
-PROTOCOL_VERSION = 3
+#: persistent job queue), v4 extended ``run`` plans with the optional
+#: ``recovery`` sub-object (protected runs, :mod:`repro.recovery`) —
+#: a v3 peer would silently execute the bare fault instead, so the
+#: version gate is load-bearing.  The handshake and
+#: ``docs/protocol.md`` both reference this constant.
+PROTOCOL_VERSION = 4
 
 #: refuse absurd frames instead of allocating gigabytes on a bad peer
 MAX_FRAME = 64 * 1024 * 1024
@@ -270,13 +275,20 @@ def run_request(shard: int, plans, max_instr: Optional[int]) -> dict:
             "plans": [encode_plan(p) for p in plans]}
 
 
-def execute_request(program, msg: dict) -> dict:
-    """Worker-side body of a ``run`` frame -> ``result`` frame."""
+def execute_request(program, msg: dict, tracker_factory=None) -> dict:
+    """Worker-side body of a ``run`` frame -> ``result`` frame.
+
+    ``tracker_factory`` lazily resolves the worker's tracker for
+    recovery plans (v4 ``recovery`` sub-object); a worker without one
+    rejects such plans in-band with :data:`ERR_EXEC` rather than
+    executing the bare fault and poisoning the cache.
+    """
     from repro.engine.keys import decode_plan
-    from repro.faults.campaign import run_plan
+    from repro.faults.campaign import execute_plan
     try:
         plans = [decode_plan(p) for p in msg["plans"]]
-        values = [run_plan(program, plan, msg.get("max_instr")).value
+        values = [execute_plan(program, plan, msg.get("max_instr"),
+                               tracker_factory=tracker_factory)
                   for plan in plans]
     except Exception as exc:  # surface worker-side failures in-band
         return {"op": OP_ERROR, "code": ERR_EXEC,

@@ -209,8 +209,14 @@ class ShardServer:
         """
         op = msg.get("op")
         if op == protocol.OP_RUN:
+            # recovery-carrying plans resolve the server's tracker; the
+            # context build is a pure function of the program, so a race
+            # between connection threads is idempotent (no run lock —
+            # protected runs execute concurrently like plain runs)
             with self._count_inflight():
-                result = protocol.execute_request(self.program, msg)
+                result = protocol.execute_request(
+                    self.program, msg,
+                    tracker_factory=self._analysis_tracker)
             self.shards_served += 1
             return result
         if op == protocol.OP_ANALYZE:

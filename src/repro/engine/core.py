@@ -208,7 +208,10 @@ class ExecutionEngine:
 
         ``groups`` is a sequence of ``(label, plans)`` pairs; the return
         value is one :class:`~repro.faults.campaign.CampaignResult` per
-        group, in group order.  The whole batch fans out through a
+        group, in group order — or a :class:`~repro.recovery.outcome.
+        RecoveryResult` for a group of recovery plans (protected runs;
+        cached/shipped as encoded outcome strings, so the cache, demux
+        and alias machinery below are plan-kind agnostic).  The whole batch fans out through a
         single :meth:`Backend.run_shards` call, so the async/socket
         substrates overlap shards *across* groups instead of placing a
         barrier between consecutive campaigns.
@@ -225,6 +228,8 @@ class ExecutionEngine:
         (sequential calls would re-execute), matching legacy semantics.
         """
         from repro.faults.campaign import CampaignResult, Manifestation
+        from repro.recovery.outcome import RecoveryOutcome, RecoveryResult
+        from repro.recovery.plan import RecoveryPlan
         self._check_open()
         groups = [(label, list(plans)) for label, plans in groups]
         group_keys: list[list[str]] = []
@@ -248,6 +253,14 @@ class ExecutionEngine:
 
         unique, shards, group_shard_base, group_shards, shard_plans = \
             self._shard_groups(groups, owner)
+
+        if any(isinstance(p, RecoveryPlan)
+               for plans in shard_plans for p in plans):
+            # warm the recovery context before the backend (lazily)
+            # forks its pool, so children inherit it copy-on-write;
+            # late-started substrates derive the identical context
+            # themselves (pure function of the program)
+            self._tracker_for_analysis().recovery_context()
 
         totals = [len(plans) for _label, plans in groups]
         cached = [totals[g_i] - len(unique[g_i])
@@ -283,10 +296,15 @@ class ExecutionEngine:
         self.cache.flush()
 
         results = []
-        for g_i, (label, _plans) in enumerate(groups):
-            result = CampaignResult(label=label)
-            for value in outcomes[g_i]:
-                result.add(Manifestation(value))
+        for g_i, (label, plans) in enumerate(groups):
+            if plans and isinstance(plans[0], RecoveryPlan):
+                result = RecoveryResult(label=label)
+                for value in outcomes[g_i]:
+                    result.add(RecoveryOutcome.decode(value))
+            else:
+                result = CampaignResult(label=label)
+                for value in outcomes[g_i]:
+                    result.add(Manifestation(value))
             result.details.update(executed=len(unique[g_i]),
                                   cached=cached[g_i],
                                   shards=group_shards[g_i],

@@ -28,17 +28,35 @@ KEY_VERSION = 1
 
 _PLAN_FIELDS = ("trigger", "mode", "bit", "loc", "width")
 
-
-def encode_plan(plan: FaultPlan) -> dict:
-    """Canonical JSON-safe dict image of a plan (cache/spill encoding)."""
-    return {f: getattr(plan, f) for f in _PLAN_FIELDS}
+_RECOVERY_FIELDS = ("detector", "policy", "checkpoint_every",
+                    "max_recoveries")
 
 
-def decode_plan(payload: Mapping) -> FaultPlan:
+def encode_plan(plan) -> dict:
+    """Canonical JSON-safe dict image of a plan (cache/spill encoding).
+
+    Recovery plans (:class:`~repro.recovery.plan.RecoveryPlan`) encode
+    as their wrapped fault plus a ``recovery`` sub-dict — the extra
+    field makes their keys disjoint from plain campaign keys without a
+    KEY_VERSION bump (plain plans never carry it).
+    """
+    if isinstance(plan, FaultPlan):
+        return {f: getattr(plan, f) for f in _PLAN_FIELDS}
+    payload = {f: getattr(plan.fault, f) for f in _PLAN_FIELDS}
+    payload["recovery"] = {f: getattr(plan, f) for f in _RECOVERY_FIELDS}
+    return payload
+
+
+def decode_plan(payload: Mapping):
     """Inverse of :func:`encode_plan` (validates via ``__post_init__``)."""
-    return FaultPlan(trigger=payload["trigger"], mode=payload["mode"],
-                     bit=payload["bit"], loc=payload.get("loc"),
-                     width=payload.get("width", 64))
+    fault = FaultPlan(trigger=payload["trigger"], mode=payload["mode"],
+                      bit=payload["bit"], loc=payload.get("loc"),
+                      width=payload.get("width", 64))
+    recovery = payload.get("recovery")
+    if recovery is None:
+        return fault
+    from repro.recovery.plan import RecoveryPlan
+    return RecoveryPlan(fault=fault, **recovery)
 
 
 def _canonical(obj) -> str:
@@ -74,7 +92,7 @@ def plans_fingerprint(plans) -> str:
     return hashlib.sha256(payload.encode()).hexdigest()[:24]
 
 
-def plan_key(program_fp: str, plan: FaultPlan,
+def plan_key(program_fp: str, plan,
              max_instr: Optional[int]) -> str:
     """Content address of one (program, plan, budget) execution."""
     payload = _canonical({

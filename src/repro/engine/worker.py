@@ -63,17 +63,20 @@ def _tracker():
 def run_plans_task(task: tuple[int, Optional[int], str,
                                Sequence[FaultPlan]]
                    ) -> tuple[int, list[str]]:
-    """Execute one chunk of untraced faulty runs -> manifestation values.
+    """Execute one chunk of untraced faulty runs -> outcome values.
 
     The engine's resolved execution tier rides in the payload so pool
     workers never depend on environment inheritance for an *explicit*
-    ``exec_tier=`` engine option.
+    ``exec_tier=`` engine option.  Recovery plans resolve this worker's
+    tracker (fork children inherit the parent's warmed recovery context
+    via copy-on-write; spawn workers derive their own, identical one).
     """
-    from repro.faults.campaign import run_plan
+    from repro.faults.campaign import execute_plan
     index, max_instr, exec_tier, plans = task
     program = _STATE["program"]
-    return index, [run_plan(program, plan, max_instr,
-                            exec_tier=exec_tier).value
+    return index, [execute_plan(program, plan, max_instr,
+                                exec_tier=exec_tier,
+                                tracker_factory=_tracker)
                    for plan in plans]
 
 

@@ -158,6 +158,32 @@ def run_plan(program: Program, plan: FaultPlan,
     return classify_check(program, interp)
 
 
+def execute_plan(program: Program, plan,
+                 max_instr: Optional[int] = None,
+                 exec_tier: Optional[str] = None,
+                 tracker_factory=None) -> str:
+    """Execute one plan of either kind, returning its cache/wire value.
+
+    Plain :class:`~repro.vm.fault.FaultPlan` runs are classified and
+    the manifestation's string value returned (the engine's historical
+    outcome encoding).  Recovery plans (:mod:`repro.recovery`) need a
+    tracker — the session consumes the golden-trace recovery context —
+    so executors that can serve them pass a ``tracker_factory``
+    returning their per-process :class:`~repro.core.FlipTracker`; the
+    returned value is the encoded
+    :class:`~repro.recovery.outcome.RecoveryOutcome`.
+    """
+    if isinstance(plan, FaultPlan):
+        return run_plan(program, plan, max_instr=max_instr,
+                        exec_tier=exec_tier).value
+    if tracker_factory is None:
+        raise TypeError(
+            f"plan {plan!r} needs a tracker_factory-capable executor")
+    from repro.recovery.run import run_recovery_plan
+    return run_recovery_plan(tracker_factory(), plan,
+                             max_instr=max_instr, exec_tier=exec_tier)
+
+
 def run_campaign(program: Program, plans: Iterable[FaultPlan], *,
                  workers: Optional[int] = None,
                  max_instr: Optional[int] = None,

@@ -184,9 +184,34 @@ class ResultStore:
         return snapshot
 
     def flush(self) -> None:
-        """fsync the JSONL and atomically refresh the snapshot."""
+        """fsync the JSONL and atomically refresh the snapshot.
+
+        Self-healing against concurrent compaction: if another handle
+        :meth:`compact`-ed the store since we opened our O_APPEND
+        descriptor, that descriptor points at the *orphaned* inode —
+        everything it wrote since the replace is invisible to readers.
+        The inode comparison detects this and re-attaches: rescan the
+        live file from 0, then re-append any records only this handle
+        knows about.
+        """
         if self._fd is not None:
             os.fsync(self._fd)
+            try:
+                attached = os.fstat(self._fd).st_ino \
+                    == os.stat(self.path).st_ino
+            except OSError:
+                attached = False
+            if not attached:
+                self._reattach()
+        else:
+            try:
+                size = os.path.getsize(self.path)
+            except OSError:
+                size = 0
+            if size < self._offset:
+                # the file was compacted/replaced under a read-only
+                # handle; its offset no longer addresses this inode
+                self._offset = 0
         # catch up on records other writers appended since we loaded,
         # so the snapshot offset is safe to skip to for every reader
         if os.path.exists(self.path):
@@ -195,6 +220,10 @@ class ResultStore:
                 if record.get("v") == STORE_VERSION:
                     self._adopt(record.get("key"), record.get("profile"))
                 self._offset = end
+        self._write_snapshot()
+
+    def _write_snapshot(self) -> None:
+        """Atomically replace ``index.json`` with the in-memory map."""
         tmp = self.index_path + ".tmp"
         with open(tmp, "w") as fh:
             json.dump({"v": STORE_VERSION, "offset": self._offset,
@@ -203,10 +232,73 @@ class ResultStore:
             os.fsync(fh.fileno())
         os.replace(tmp, self.index_path)
 
+    def _reattach(self) -> None:
+        """Recover after the JSONL was replaced under our descriptor."""
+        os.close(self._fd)
+        self._fd = None
+        self._offset = 0
+        on_disk: set[str] = set()
+        if os.path.exists(self.path):
+            for record, end in jsonl_records(self.path, start=0):
+                if record.get("v") == STORE_VERSION:
+                    self._adopt(record.get("key"),
+                                record.get("profile"))
+                    on_disk.add(record.get("key"))
+                self._offset = end
+        # records only this handle holds (appended to the orphaned
+        # inode, or adopted before the compaction dropped them) go back
+        missing = [key for key in self._mem if key not in on_disk]
+        if missing:
+            self._fd = jsonl_open_append(self.path)
+            self._repair_tail()
+            for key in missing:
+                jsonl_append(self._fd, {"v": STORE_VERSION, "key": key,
+                                        "profile": self._mem[key]})
+            os.fsync(self._fd)
+
+    def compact(self) -> dict:
+        """Rewrite ``profiles.jsonl`` keeping only live keys.
+
+        Duplicate lines (concurrent writers racing the same key,
+        conflicting losers of first-wins, stale-version records) are
+        dropped; the result holds exactly one record per key in
+        ``index.json``/memory, in sorted key order, swapped in with an
+        atomic replace.  Safe alongside concurrent writers: their
+        O_APPEND descriptors end up on the orphaned inode, which their
+        next :meth:`flush` detects and repairs (see there).  Returns
+        ``{"records", "bytes", "reclaimed"}``.
+        """
+        self.flush()
+        try:
+            old_size = os.path.getsize(self.path)
+        except OSError:
+            old_size = 0
+        tmp = self.path + ".tmp"
+        fd = os.open(tmp, os.O_WRONLY | os.O_CREAT | os.O_TRUNC, 0o644)
+        try:
+            for key in sorted(self._mem):
+                jsonl_append(fd, {"v": STORE_VERSION, "key": key,
+                                  "profile": self._mem[key]})
+            os.fsync(fd)
+        finally:
+            os.close(fd)
+        os.replace(tmp, self.path)
+        if self._fd is not None:
+            # our own append descriptor now points at the orphan too
+            os.close(self._fd)
+            self._fd = None
+        self._offset = os.path.getsize(self.path)
+        self._write_snapshot()
+        return {"records": len(self._mem), "bytes": self._offset,
+                "reclaimed": max(0, old_size - self._offset)}
+
     def close(self) -> None:
         if self._fd is not None:
             self.flush()
-            os.close(self._fd)
+            # flush() may already have dropped the descriptor while
+            # re-attaching after a concurrent compaction
+            if self._fd is not None:
+                os.close(self._fd)
             self._fd = None
 
     def __enter__(self) -> "ResultStore":

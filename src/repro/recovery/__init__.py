@@ -1,0 +1,23 @@
+"""Online detection + checkpoint/rollback recovery (see docs/recovery.md).
+
+The subsystem turns the golden-trace evidence the ACL analyses mine
+*post hoc* into protection that runs *inside* a faulty execution:
+online detectors at region boundaries, checkpoint/restore in the VM,
+and pluggable recovery policies compared by the ``RecoverySweep``
+benchmark and the ``repro recover`` CLI.
+"""
+
+from repro.recovery.outcome import FINAL_STATES, RecoveryOutcome, \
+    RecoveryResult
+from repro.recovery.plan import DETECTORS, POLICIES, RecoveryPlan
+from repro.recovery.run import run_recovery_plan
+
+__all__ = [
+    "DETECTORS",
+    "FINAL_STATES",
+    "POLICIES",
+    "RecoveryOutcome",
+    "RecoveryPlan",
+    "RecoveryResult",
+    "run_recovery_plan",
+]

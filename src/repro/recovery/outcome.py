@@ -1,0 +1,163 @@
+"""Recovery-run outcomes: the per-run record and the campaign aggregate.
+
+A protected faulty run produces a :class:`RecoveryOutcome` — the final
+manifestation plus the overhead/efficacy counters Tan et al. compare
+policies by.  Every field is **tier- and backend-invariant** (a
+deliberate contract: the compiled tier leaves ``dyn_count`` stale on
+unanticipated mid-segment crashes, so re-execution is charged at
+protection-window granularity, never at the crash instruction), which
+is what lets outcomes travel the existing engine paths as opaque
+strings: :meth:`RecoveryOutcome.encode` is the canonical compact-JSON
+image stored in the plan cache, spilled to JSONL, and shipped over the
+shard protocol exactly like a manifestation value.
+
+:class:`RecoveryResult` aggregates one plan group's outcomes, playing
+the role :class:`~repro.faults.campaign.CampaignResult` plays for plain
+campaigns (same ``details`` accounting keys, same engine assembly).
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import asdict, dataclass, field
+
+#: final manifestation of a protected run: the campaign taxonomy plus
+#: ``aborted`` (the detection-only baseline policy stopped the run)
+FINAL_STATES = ("success", "failed", "crashed", "aborted")
+
+
+@dataclass(frozen=True)
+class RecoveryOutcome:
+    """What one protected faulty run did, and what it cost.
+
+    Attributes
+    ----------
+    final:
+        One of :data:`FINAL_STATES`.
+    detected:
+        Detector fires + crashes caught inside protection (a crash is
+        an implicit detection).
+    recovered:
+        Checkpoint restores performed.
+    forwarded:
+        Detections the ``forward-correct`` policy rode through without
+        restoring (overwrite-dominated regions).
+    checks:
+        Detector invocations (the fixed per-boundary cost).
+    checkpoints:
+        Snapshots taken.
+    checkpoint_words:
+        State words copied across all snapshots (memory + registers).
+    re_executed:
+        Dynamic instructions re-run after restores, charged at
+        protection-window granularity (tier-invariant; see module
+        docstring).
+    fault_fired:
+        Whether the injected flip actually fired during the run.
+    gave_up:
+        ``max_recoveries`` was exhausted and the run coasted to
+        completion unprotected.
+    """
+
+    final: str
+    detected: int = 0
+    recovered: int = 0
+    forwarded: int = 0
+    checks: int = 0
+    checkpoints: int = 0
+    checkpoint_words: int = 0
+    re_executed: int = 0
+    fault_fired: bool = False
+    gave_up: bool = False
+
+    def __post_init__(self) -> None:
+        if self.final not in FINAL_STATES:
+            raise ValueError(f"unknown final state {self.final!r}")
+
+    def encode(self) -> str:
+        """Canonical compact-JSON image (the engine's cache/wire value)."""
+        return json.dumps(asdict(self), sort_keys=True,
+                          separators=(",", ":"))
+
+    @classmethod
+    def decode(cls, text: str) -> "RecoveryOutcome":
+        return cls(**json.loads(text))
+
+
+@dataclass
+class RecoveryResult:
+    """Aggregated outcomes of one protected plan group."""
+
+    success: int = 0
+    failed: int = 0
+    crashed: int = 0
+    aborted: int = 0
+    detected: int = 0
+    recovered: int = 0
+    forwarded: int = 0
+    checks: int = 0
+    checkpoints: int = 0
+    checkpoint_words: int = 0
+    re_executed: int = 0
+    fault_fired: int = 0
+    gave_up: int = 0
+    label: str = ""
+    details: dict = field(default_factory=dict)
+
+    _COUNT_FIELDS = ("success", "failed", "crashed", "aborted", "detected",
+                     "recovered", "forwarded", "checks", "checkpoints",
+                     "checkpoint_words", "re_executed", "fault_fired",
+                     "gave_up")
+
+    def add(self, outcome: RecoveryOutcome) -> None:
+        setattr(self, outcome.final, getattr(self, outcome.final) + 1)
+        self.detected += outcome.detected
+        self.recovered += outcome.recovered
+        self.forwarded += outcome.forwarded
+        self.checks += outcome.checks
+        self.checkpoints += outcome.checkpoints
+        self.checkpoint_words += outcome.checkpoint_words
+        self.re_executed += outcome.re_executed
+        self.fault_fired += int(outcome.fault_fired)
+        self.gave_up += int(outcome.gave_up)
+
+    @property
+    def total(self) -> int:
+        return self.success + self.failed + self.crashed + self.aborted
+
+    @property
+    def success_rate(self) -> float:
+        return self.success / self.total if self.total else 0.0
+
+    @property
+    def executed(self) -> int:
+        """Runs actually performed by the producing dispatch."""
+        return self.details.get("executed", self.total)
+
+    @property
+    def cached(self) -> int:
+        """Runs served from the plan-result cache."""
+        return self.details.get("cached", 0)
+
+    def counts(self) -> dict:
+        """Canonical (provenance-free) image of the aggregate."""
+        return {name: getattr(self, name) for name in self._COUNT_FIELDS}
+
+    @classmethod
+    def from_counts(cls, counts: dict, label: str = "") -> "RecoveryResult":
+        unknown = set(counts) - set(cls._COUNT_FIELDS)
+        if unknown:
+            raise ValueError(f"unknown recovery count field(s): "
+                             f"{sorted(unknown)}")
+        return cls(label=label, **{name: int(counts[name])
+                                   for name in cls._COUNT_FIELDS
+                                   if name in counts})
+
+    def __str__(self) -> str:
+        extra = f" [{self.cached} cached]" if self.cached else ""
+        return (f"{self.label or 'recovery'}: {self.total} runs, "
+                f"success_rate={self.success_rate:.3f} "
+                f"(ok={self.success} sdc={self.failed} "
+                f"crash={self.crashed} abort={self.aborted}; "
+                f"detected={self.detected} recovered={self.recovered} "
+                f"forwarded={self.forwarded}){extra}")

@@ -1,0 +1,79 @@
+"""Recovery plans: one faulty run executed under online protection.
+
+A :class:`RecoveryPlan` wraps an ordinary single-bit-flip
+:class:`~repro.vm.fault.FaultPlan` with the *protection configuration*
+the run executes under: which online detector checks state at region
+boundaries, which recovery policy reacts when it fires, how often
+checkpoints are taken and how many restore attempts are allowed before
+the run gives up and coasts to completion.
+
+This module is a leaf (it imports only :mod:`repro.vm.fault`) so the
+engine's key/wire codecs can encode recovery plans without import
+cycles.  The execution semantics live in :mod:`repro.recovery.run`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.vm.fault import FaultPlan
+
+#: online detectors, cheapest-signal first (see docs/recovery.md):
+#: ``range``     — golden value-range + finiteness of the locations the
+#:                 region wrote (ACL-informed; misses in-range corruption),
+#: ``invariant`` — structural invariants distilled from the golden trace
+#:                 (stack pointer, frame depth, finiteness),
+#: ``checksum``  — checksum of all live state vs. the golden boundary
+#:                 image (maximally sensitive, dearest per check).
+DETECTORS = ("range", "invariant", "checksum")
+
+#: recovery policies dispatched on a detector fire (or a crash):
+#: ``abort``            — stop immediately (detection-only baseline),
+#: ``rollback``         — restore the last periodic checkpoint,
+#: ``recompute-region`` — restore the detected region's entry snapshot,
+#: ``forward-correct``  — overwrite-dominated regions just continue
+#:                        (Table I's overwrite pattern); others fall
+#:                        back to recompute-region.
+POLICIES = ("abort", "rollback", "recompute-region", "forward-correct")
+
+
+@dataclass(frozen=True)
+class RecoveryPlan:
+    """One protected faulty run.
+
+    Attributes
+    ----------
+    fault:
+        The single-bit flip the run suffers (same plan population as a
+        plain campaign, so outcome distributions are comparable).
+    detector:
+        Online check run at region-instance exit boundaries (one of
+        :data:`DETECTORS`).
+    policy:
+        Reaction to a detector fire or crash (one of :data:`POLICIES`).
+    checkpoint_every:
+        Take a periodic checkpoint at every Nth protected region entry
+        (``rollback``'s restore granularity; snapshot-per-entry
+        policies ignore it).
+    max_recoveries:
+        Restore attempts before the run stops detecting and coasts to
+        completion (bounds corrupted-checkpoint restore loops).
+    """
+
+    fault: FaultPlan
+    detector: str = "checksum"
+    policy: str = "recompute-region"
+    checkpoint_every: int = 1
+    max_recoveries: int = 4
+
+    def __post_init__(self) -> None:
+        if self.detector not in DETECTORS:
+            raise ValueError(f"unknown detector {self.detector!r}; "
+                             f"known: {DETECTORS}")
+        if self.policy not in POLICIES:
+            raise ValueError(f"unknown policy {self.policy!r}; "
+                             f"known: {POLICIES}")
+        if self.checkpoint_every < 1:
+            raise ValueError("checkpoint_every must be >= 1")
+        if self.max_recoveries < 0:
+            raise ValueError("max_recoveries must be >= 0")

@@ -51,7 +51,7 @@ from typing import Optional
 from repro.ir import opcodes as oc
 from repro.ir.module import Module
 from repro.vm import bitops
-from repro.vm.errors import ComputeTrap, MemoryFault, VMError
+from repro.vm.errors import ComputeTrap, HangError, MemoryFault, VMError
 from repro.vm.fault import FaultPlan
 from repro.vm.interp import Interpreter
 
@@ -739,6 +739,71 @@ class CompiledInterpreter(Interpreter):
         with exact interpreter semantics)."""
         frames = self.frames
         while True:
+            status = Interpreter.step(self, 1)
+            if status != "budget":
+                return status
+            frame = frames[-1]
+            if frame.pc in fns[frame.fn.index].entries:
+                return status
+
+    # --------------------------------------------------------- run_to
+    def run_to(self, stop_dyn: int) -> str:
+        """Compiled-tier :meth:`Interpreter.run_to`.
+
+        Drives compiled bodies with ``limit`` folded over the stop
+        target (and the fault trigger / hang budget, exactly like
+        :meth:`_drive`); when a segment would cross the boundary the
+        trampoline falls back to the interpreter window at the
+        checkpointed region — the same mechanism that gives the fault
+        trigger interpreter-exact semantics — so the stop state is
+        byte-identical to the interpreter tier's.  A resume from a
+        mid-block stop (a checkpoint restore lands wherever the
+        detector fired) also goes through the window until the pc
+        re-aligns with a segment entry.
+        """
+        if self.comm is not None:
+            return super().run_to(stop_dyn)
+        compiled = compile_module(self.module, self.records is not None)
+        if compiled is None:
+            return super().run_to(stop_dyn)
+        self.exec_tier = "compiled"
+        fns = compiled.fns
+        frames = self.frames
+        hard = self.max_instr
+        while True:
+            if self.finished:
+                return "done"
+            if self.dyn_count >= stop_dyn:
+                if self.dyn_count >= hard:
+                    raise HangError(self.dyn_count)
+                return "budget"
+            frame = frames[-1]
+            if frame.pc not in fns[frame.fn.index].entries:
+                if self._interp_window_to(fns, stop_dyn) == "done":
+                    return "done"
+                continue
+            ftrig = self._ftrig
+            limit = min(stop_dyn, hard) if ftrig < 0 \
+                else min(ftrig, stop_dyn, hard)
+            rc = fns[frame.fn.index].body(self, frame, limit)
+            if rc == RES_DONE:
+                return "done"
+            if rc == RES_REENTER:
+                continue
+            if self._interp_window_to(fns, stop_dyn) == "done":
+                return "done"
+
+    def _interp_window_to(self, fns: list, stop_dyn: int) -> str:
+        """:meth:`_interp_window` bounded by a stop target: single-step
+        interpreted until the program finishes, the stop boundary is
+        reached, or the pc re-aligns with a compiled segment entry."""
+        frames = self.frames
+        hard = self.max_instr
+        while True:
+            if self.dyn_count >= stop_dyn:
+                if self.dyn_count >= hard:
+                    raise HangError(self.dyn_count)
+                return "budget"
             status = Interpreter.step(self, 1)
             if status != "budget":
                 return status

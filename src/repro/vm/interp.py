@@ -68,6 +68,46 @@ class Frame:
         self.rbase = -(uid * SLOT_LIMIT) - 1
 
 
+class VMSnapshot:
+    """A restorable image of an :class:`Interpreter`'s execution state.
+
+    Captures everything a resumed execution can observe — memory, stack
+    pointer, the frame stack (function, registers, pc, uid, return slot,
+    stack mark), dynamic instruction count, uid counter, fault
+    bookkeeping and the *lengths* of the append-only output/record
+    streams (restore truncates them back; a snapshot therefore only
+    restores an earlier point of the same execution).  One snapshot may
+    be restored any number of times: :meth:`Interpreter.restore` copies
+    out of it, never aliases into it.
+    """
+
+    __slots__ = ("mem", "sp", "frames", "dyn_count", "next_uid",
+                 "n_output", "n_records", "fault_state", "ftrig",
+                 "finished", "result")
+
+    def __init__(self, interp: "Interpreter"):
+        self.mem = list(interp.mem)
+        self.sp = interp.sp
+        self.frames = [(f.fn, list(f.regs), f.pc, f.uid, f.ret_slot,
+                        f.stack_mark) for f in interp.frames]
+        self.dyn_count = interp.dyn_count
+        self.next_uid = interp.next_uid
+        self.n_output = len(interp.output)
+        self.n_records = (None if interp.records is None
+                          else len(interp.records))
+        rec = interp.fault_record
+        self.fault_state = (rec.fired, rec.loc, rec.old_value,
+                            rec.new_value, rec.dyn_index)
+        self.ftrig = interp._ftrig
+        self.finished = interp.finished
+        self.result = interp.result
+
+    @property
+    def words(self) -> int:
+        """Copied state size (memory + register words): checkpoint cost."""
+        return len(self.mem) + sum(len(regs) for _fn, regs, *_ in self.frames)
+
+
 class Interpreter:
     """Executes one program image (one simulated process).
 
@@ -141,6 +181,63 @@ class Interpreter:
         if self.finished:
             return "done"
         return self._loop(budget)
+
+    def run_to(self, stop_dyn: int) -> str:
+        """Execute until ``dyn_count`` reaches ``stop_dyn`` (or completion).
+
+        Returns ``"done"`` when the program finished (possibly before
+        the target, e.g. a fault-shortened run) or ``"budget"`` with
+        ``dyn_count == stop_dyn`` — the instruction at index
+        ``stop_dyn`` has *not* executed yet, so the stop point is a
+        clean boundary for :meth:`snapshot` / online detectors.  The
+        hang budget still applies (:class:`HangError` past
+        ``max_instr``); blocking MPI is a :class:`VMError` here, since
+        checkpointed execution is single-process.
+        """
+        while not self.finished and self.dyn_count < stop_dyn:
+            status = self.step(stop_dyn - self.dyn_count)
+            if status == "blocked":
+                raise VMError(
+                    "MPI operation blocked with no communicator peers")
+        return "done" if self.finished else "budget"
+
+    # ------------------------------------------------------- checkpointing
+    def snapshot(self) -> VMSnapshot:
+        """Capture a restorable image of the current execution state."""
+        return VMSnapshot(self)
+
+    def restore(self, snap: VMSnapshot) -> None:
+        """Rewind to ``snap`` (an earlier point of this execution).
+
+        Memory and registers are copied out of the snapshot (it stays
+        reusable); the append-only output/record streams are truncated
+        back to their snapshot lengths.  Fault bookkeeping — including
+        the armed/disarmed trigger — is restored faithfully: a caller
+        modelling a *transient* fault must disarm ``_ftrig`` itself
+        after restoring.
+        """
+        self.mem[:] = snap.mem
+        self.sp = snap.sp
+        self.frames = []
+        for fn, regs, pc, uid, ret_slot, stack_mark in snap.frames:
+            frame = Frame(fn, list(regs), uid, ret_slot, stack_mark)
+            frame.pc = pc
+            self.frames.append(frame)
+        self.dyn_count = snap.dyn_count
+        self.next_uid = snap.next_uid
+        del self.output[snap.n_output:]
+        if self.records is not None and snap.n_records is not None:
+            del self.records[snap.n_records:]
+        fired, loc, old_value, new_value, dyn_index = snap.fault_state
+        rec = self.fault_record
+        rec.fired = fired
+        rec.loc = loc
+        rec.old_value = old_value
+        rec.new_value = new_value
+        rec.dyn_index = dyn_index
+        self._ftrig = snap.ftrig
+        self.finished = snap.finished
+        self.result = snap.result
 
     @property
     def output_text(self) -> str:

@@ -20,6 +20,19 @@ class TestParser:
         with pytest.raises(SystemExit):
             build_parser().parse_args(["trace", "nosuchapp"])
 
+    def test_registry_store_dir_accepted_at_either_position(self):
+        parser = build_parser()
+        root = parser.parse_args(["--store-dir", "/x", "registry"])
+        local = parser.parse_args(["registry", "--store-dir", "/x"])
+        assert root.store_dir == local.store_dir == "/x"
+
+    def test_store_compact_store_dir_accepted_at_either_position(self):
+        parser = build_parser()
+        root = parser.parse_args(["--store-dir", "/x", "store", "compact"])
+        local = parser.parse_args(["store", "compact",
+                                   "--store-dir", "/x"])
+        assert root.store_dir == local.store_dir == "/x"
+
 
 class TestApps:
     def test_lists_all_ten(self, capsys):
@@ -109,6 +122,53 @@ class TestDot:
         assert code == 0
         assert path.read_text().startswith("digraph")
         assert "wrote" in out
+
+
+class TestRecover:
+    def test_policy_table(self, capsys):
+        code, out = run(capsys, "--seed", "20181111", "recover", "kmeans",
+                        "--region", "k_d",
+                        "--policy", "abort,recompute-region", "-n", "2")
+        assert code == 0
+        assert "abort" in out and "recompute-region" in out
+        assert "success_rate=" in out
+
+    def test_json_envelope(self, capsys):
+        from repro.api import ExperimentResult
+        code, out = run(capsys, "--seed", "20181111", "recover", "kmeans",
+                        "--region", "k_d", "-n", "2", "--json")
+        assert code == 0
+        result = ExperimentResult.from_json(out)
+        (spec_result,) = result.results
+        assert spec_result.mode == "recovery"
+        assert spec_result.recovery["policy"] == "recompute-region"
+        regions = spec_result.recovery["regions"]
+        assert regions and all(r["n"] == 2 for r in regions)
+
+    def test_bad_policy_fails_cleanly(self, capsys):
+        code = main(["recover", "kmeans", "--policy", "pray"])
+        assert code == 1
+        assert "pray" in capsys.readouterr().err
+
+
+class TestStore:
+    def test_compact_accepts_flag_at_either_position(self, capsys,
+                                                     tmp_path):
+        from repro.profiles import ResultStore
+        store_dir = str(tmp_path / "store")
+        with ResultStore(store_dir) as store:
+            store.put("deadbeef", {"region": "k_d"})
+        code, out = run(capsys, "store", "compact",
+                        "--store-dir", store_dir)
+        assert code == 0 and "1 live" in out
+        code, out = run(capsys, "--store-dir", store_dir,
+                        "store", "compact")
+        assert code == 0 and "1 live" in out
+
+    def test_compact_requires_store_dir(self, capsys):
+        code = main(["store", "compact"])
+        assert code == 1
+        assert "--store-dir" in capsys.readouterr().err
 
 
 class TestRunSpec:

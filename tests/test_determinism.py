@@ -29,6 +29,7 @@ import pytest
 from repro.apps import REGISTRY
 from repro.core import FlipTracker
 from repro.engine.backends import AsyncBackend, ShardServer, SocketBackend
+from repro.recovery import RecoveryPlan
 
 APPS = ("cg", "kmeans", "lulesh")
 SEED = 20181111
@@ -312,3 +313,110 @@ class TestRegionPatternsInvariance:
             r_big = big.region_campaign(region, "internal", n=10)
             assert outcome_bytes(r_small) == outcome_bytes(r_big)
             assert r_small.details["shards"] > r_big.details["shards"]
+
+
+# ---------------------------------------------------------------- recovery
+def recovery_bytes(result) -> bytes:
+    """Canonical serialization of a RecoveryResult's measured counts."""
+    return json.dumps({"label": result.label, **result.counts()},
+                      sort_keys=True).encode()
+
+
+def run_recovery_group(ft, n=N):
+    """One protected plan group through the engine's batch seam."""
+    region = first_loop_region(ft)
+    plans = [RecoveryPlan(fault=fault) for fault
+             in ft.make_plans(ft.instance_of(region), "internal", n)]
+    (result,) = ft.engine.run_plan_groups(
+        [(f"recover/{region}", plans)], max_instr=ft.faulty_budget)
+    return result
+
+
+#: per-app sequential (workers=1, local) recovery baseline bytes
+_RECOVERY_SEQ: dict = {}
+
+
+def recovery_sequential_baseline(app) -> bytes:
+    if app not in _RECOVERY_SEQ:
+        with FlipTracker(REGISTRY.build(app), seed=SEED,
+                         workers=1) as ft:
+            _RECOVERY_SEQ[app] = recovery_bytes(run_recovery_group(ft))
+    return _RECOVERY_SEQ[app]
+
+
+@pytest.mark.parametrize("app", APPS)
+class TestRecoveryWorkerInvariance:
+    """Protected runs inherit every campaign determinism guarantee: the
+    RecoveryContext is a pure function of the program (each worker
+    derives the identical one) and outcomes travel as canonical encoded
+    strings, so counts are byte-identical whatever the worker count."""
+
+    def test_recovery_w1_equals_w4(self, app):
+        baseline = recovery_sequential_baseline(app)
+        with FlipTracker(REGISTRY.build(app), seed=SEED,
+                         workers=4, shard_size=2) as w4:
+            assert recovery_bytes(run_recovery_group(w4)) == baseline
+
+
+@pytest.mark.parametrize("backend_name", PARITY_BACKENDS)
+@pytest.mark.parametrize("app", APPS)
+class TestRecoveryBackendParity:
+    """Every backend substrate (fork pool, async protocol workers, TCP
+    shard servers) yields byte-identical recovery counts — each remote
+    end rebuilds the same RecoveryContext from the same program."""
+
+    def test_recovery_matches_sequential(self, app, backend_name):
+        baseline = recovery_sequential_baseline(app)
+        backend, server = make_backend(backend_name, app)
+        try:
+            with FlipTracker(REGISTRY.build(app), seed=SEED, workers=4,
+                             shard_size=2, backend=backend) as ft:
+                result = run_recovery_group(ft)
+        finally:
+            if server is not None:
+                server.stop()
+        assert recovery_bytes(result) == baseline
+        assert result.details["backend"] == backend_name
+
+
+class TestRecoveryCacheResume:
+    def test_fresh_vs_cache_resumed(self, tmp_path):
+        cache_dir = str(tmp_path / "kmeans")
+        with FlipTracker(REGISTRY.build("kmeans"), seed=SEED, workers=1,
+                         cache_dir=cache_dir) as fresh:
+            r_fresh = run_recovery_group(fresh)
+        with FlipTracker(REGISTRY.build("kmeans"), seed=SEED, workers=1,
+                         cache_dir=cache_dir) as resumed:
+            r_resumed = run_recovery_group(resumed)
+        assert recovery_bytes(r_fresh) == recovery_bytes(r_resumed)
+        assert r_fresh.executed > 0
+        assert r_resumed.executed == 0  # zero new protected runs
+        assert r_resumed.cached == N
+
+
+#: per-app explicitly-interpreted recovery baseline bytes
+_RECOVERY_TIER: dict = {}
+
+
+def recovery_interp_baseline(app) -> bytes:
+    if app not in _RECOVERY_TIER:
+        with FlipTracker(REGISTRY.build(app), seed=SEED, workers=1,
+                         exec_tier="interp") as ft:
+            _RECOVERY_TIER[app] = recovery_bytes(run_recovery_group(ft))
+    return _RECOVERY_TIER[app]
+
+
+@pytest.mark.parametrize("app", APPS)
+class TestRecoveryExecTierParity:
+    """Recovery outcomes are byte-identical across exec tiers — the
+    strongest tier-parity claim in the repo, since protected runs
+    exercise run_to stops, snapshot/restore rewinds and mid-block
+    resume on the compiled tier (its interpreter-window fallback)."""
+
+    def test_recovery_matches_interp(self, app):
+        baseline = recovery_interp_baseline(app)
+        with FlipTracker(REGISTRY.build(app), seed=SEED, workers=2,
+                         shard_size=2, exec_tier="compiled") as ft:
+            result = run_recovery_group(ft)
+            assert ft.engine.stats()["exec_tier"] == "compiled"
+        assert recovery_bytes(result) == baseline

@@ -1,0 +1,131 @@
+"""Property suite for VM snapshot/restore (the checkpoint substrate).
+
+Hypothesis-driven invariants of ``Interpreter.snapshot`` /
+``restore`` / ``run_to`` — the machinery every recovery policy stands
+on (``repro.recovery``):
+
+* **round-trip** — restoring a snapshot rewinds every observable the
+  online detectors read (dyn count, stack pointer, frame depth, live
+  state checksum, output length) to its capture-time value, from *any*
+  later point of the execution, on both exec tiers;
+* **replay equivalence** — a run that is interrupted at an arbitrary
+  point, rewound, and resumed finishes with the same final state
+  as the uninterrupted golden run (what makes rollback semantically
+  invisible when no fault fired);
+* **idempotency** — restoring the same snapshot twice, with
+  arbitrary progress in between, converges to the same state;
+* **isolation** — mutating the live interpreter never corrupts a
+  taken snapshot (the copies are real, not aliases).
+
+Per-example work is one partial kmeans replay (~87k dyn instrs,
+milliseconds), so the suite stays cheap at 25 examples.
+"""
+
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.acl.online import state_checksum
+from repro.apps import REGISTRY
+
+PROGRAM = REGISTRY.build("kmeans")
+
+_settings = settings(max_examples=25, deadline=None,
+                     suppress_health_check=[HealthCheck.too_slow])
+
+
+def fresh(exec_tier="interp"):
+    interp = PROGRAM.fresh_interpreter(exec_tier=exec_tier)
+    interp.start(PROGRAM.entry)
+    return interp
+
+
+def observed(interp) -> tuple:
+    """Everything the online detectors can see, as one comparable image."""
+    return (interp.dyn_count, interp.sp, len(interp.frames),
+            len(interp.output), interp.finished,
+            state_checksum(interp.mem, interp.sp, len(interp.frames)))
+
+
+_GOLDEN: dict = {}
+
+
+def golden() -> tuple:
+    """(total_dyn, final observed image) of the uninterrupted run."""
+    if not _GOLDEN:
+        interp = fresh()
+        while interp.step(1 << 20) != "done":
+            pass
+        _GOLDEN["image"] = (interp.dyn_count, observed(interp))
+    return _GOLDEN["image"]
+
+
+# fractions of the run, not absolute dyn indices, so the strategy stays
+# valid whatever the app's dynamic length is
+fractions = st.floats(min_value=0.0, max_value=1.0,
+                      allow_nan=False, allow_infinity=False)
+
+
+@given(snap_at=fractions, probe_at=fractions,
+       tier=st.sampled_from(["interp", "compiled"]))
+@_settings
+def test_restore_rewinds_every_observable(snap_at, probe_at, tier):
+    total, _final = golden()
+    snap_dyn = int(snap_at * total)
+    probe_dyn = snap_dyn + int(probe_at * (total - snap_dyn))
+    interp = fresh(tier)
+    interp.run_to(snap_dyn)
+    snap = interp.snapshot()
+    before = observed(interp)
+    assert snap.words > 0
+    interp.run_to(probe_dyn)
+    interp.restore(snap)
+    assert observed(interp) == before
+    assert interp.dyn_count == snap.dyn_count
+
+
+@given(snap_at=fractions, probe_at=fractions,
+       tier=st.sampled_from(["interp", "compiled"]))
+@_settings
+def test_rewound_run_finishes_like_the_golden_run(snap_at, probe_at, tier):
+    total, final = golden()
+    snap_dyn = int(snap_at * total)
+    probe_dyn = snap_dyn + int(probe_at * (total - snap_dyn))
+    interp = fresh(tier)
+    interp.run_to(snap_dyn)
+    snap = interp.snapshot()
+    interp.run_to(probe_dyn)      # wasted work, to be rolled back
+    interp.restore(snap)
+    interp.run_to(interp.max_instr)
+    assert (interp.dyn_count, observed(interp)) == (total, final)
+
+
+@given(snap_at=fractions, between=fractions)
+@_settings
+def test_restore_is_idempotent(snap_at, between):
+    total, _final = golden()
+    snap_dyn = int(snap_at * total)
+    interp = fresh()
+    interp.run_to(snap_dyn)
+    snap = interp.snapshot()
+    interp.run_to(snap_dyn + int(between * (total - snap_dyn)))
+    interp.restore(snap)
+    first = observed(interp)
+    interp.run_to(snap_dyn + int((1.0 - between) * (total - snap_dyn)))
+    interp.restore(snap)
+    assert observed(interp) == first
+
+
+@given(snap_at=fractions)
+@_settings
+def test_live_progress_does_not_corrupt_the_snapshot(snap_at):
+    total, _final = golden()
+    snap_dyn = int(snap_at * total)
+    interp = fresh()
+    interp.run_to(snap_dyn)
+    snap = interp.snapshot()
+    image = (snap.dyn_count, snap.sp, list(snap.mem))
+    while interp.step(1 << 20) != "done":
+        pass
+    assert (snap.dyn_count, snap.sp, list(snap.mem)) == image
+    interp.restore(snap)
+    assert interp.dyn_count == snap_dyn == snap.dyn_count

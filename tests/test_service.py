@@ -614,6 +614,41 @@ class TestDaemonJobs:
             assert ExperimentResult.from_dict(envelope).experiment.name \
                 == "svc-mini"
 
+    def test_store_dir_survives_daemon_restart(self, tmp_path):
+        """``repro registry --store-dir``: profiles a first daemon's
+        jobs produced are served by a restarted daemon on the same
+        store dir — zero new faulty runs, byte-identical canonical
+        envelope."""
+        from repro.api import ExperimentResult
+        from repro.profiles import ResultStore
+        store = str(tmp_path / "store")
+        payload = {"schema_version": 1, "name": "svc-store",
+                   "apps": ["kmeans"], "seed": 20181111,
+                   "incremental": True,
+                   "specs": [{"type": "profile", "kind": "internal",
+                              "n": 2, "loop_only": True}]}
+        with ServiceDaemon(port=0, store_dir=store) as daemon:
+            daemon.start()
+            client = RegistryClient(f"127.0.0.1:{daemon.port}")
+            job = client.submit(payload)
+            assert client.watch(job["id"])["state"] == "done"
+            first = client.fetch(job["id"])
+        with ResultStore(store) as written:
+            assert len(written) > 0   # the job populated the store
+        with ServiceDaemon(port=0, store_dir=store) as revived:
+            revived.start()
+            client = RegistryClient(f"127.0.0.1:{revived.port}")
+            job = client.submit(payload)
+            assert client.watch(job["id"])["state"] == "done"
+            second = client.fetch(job["id"])
+        assert_canonical_match(ExperimentResult.from_dict(first),
+                               ExperimentResult.from_dict(second),
+                               context="store-served rerun vs fresh run")
+        assert sum(d.get("executed", 0) for d in first["dispatches"]) > 0
+        # the restarted daemon served every region from the store
+        assert sum(d.get("executed", 0)
+                   for d in second["dispatches"]) == 0
+
     def test_failed_job_reported_via_fetch(self):
         with ServiceDaemon(port=0, backend_factory=None) as daemon:
             daemon.start()

@@ -146,6 +146,75 @@ def test_two_writers_interleaved(left, right):
             assert len(merged) == len(left) + len(right)
 
 
+@given(records=stores, dupes=st.integers(min_value=1, max_value=3))
+@_settings
+def test_compact_is_size_bounded_and_lossless(records, dupes):
+    """After compaction the JSONL holds exactly one line per live key —
+    the size bound that makes ``repro store compact`` worth running —
+    and a fresh handle still reads every record."""
+    with tempfile.TemporaryDirectory() as tmp:
+        with ResultStore(tmp) as store:
+            for key, payload in records.items():
+                store.put(key, payload)
+        path = os.path.join(tmp, STORE_NAME)
+        # duplicate every line a few times: the on-disk image a pile of
+        # racing writers (idempotent re-puts from stale handles) leaves
+        lines = open(path).read()
+        with open(path, "a") as fh:
+            for _ in range(dupes):
+                fh.write(lines)
+        bloated = os.path.getsize(path)
+        with ResultStore(tmp) as store:
+            stats = store.compact()
+        assert stats["records"] == len(records)
+        assert stats["bytes"] == os.path.getsize(path)
+        assert stats["reclaimed"] == bloated - stats["bytes"] > 0
+        with open(path) as fh:
+            kept = [json.loads(line) for line in fh]
+        assert len(kept) == len(records)       # the size bound
+        assert sorted(r["key"] for r in kept) == sorted(records)
+        with ResultStore(tmp) as reopened:
+            assert len(reopened) == len(records)
+            for key, payload in records.items():
+                assert reopened.get(key) == payload
+
+
+@given(left=stores, right=stores)
+@_settings
+def test_compact_under_a_concurrent_writer_loses_nothing(left, right):
+    """One handle compacts while another still holds an O_APPEND
+    descriptor: the survivor's next flush detects the replaced inode
+    and re-appends everything only it knew about."""
+    left = {"a" + k: v for k, v in left.items()}
+    right = {"b" + k: v for k, v in right.items()}
+    with tempfile.TemporaryDirectory() as tmp:
+        one, two = ResultStore(tmp), ResultStore(tmp)
+        try:
+            for key, payload in left.items():
+                one.put(key, payload)
+            one.flush()
+            for key, payload in right.items():
+                two.put(key, payload)     # invisible to `one` until scan
+            one.compact()                 # orphans two's descriptor
+            two.flush()                   # detects + re-attaches
+        finally:
+            one.close()
+            two.close()
+        with ResultStore(tmp) as merged:
+            assert len(merged) == len(left) + len(right)
+            for key, payload in {**left, **right}.items():
+                assert merged.get(key) == payload
+
+
+def test_compact_empty_store_is_a_noop():
+    with tempfile.TemporaryDirectory() as tmp:
+        with ResultStore(tmp) as store:
+            stats = store.compact()
+        assert stats == {"records": 0, "bytes": 0, "reclaimed": 0}
+        with ResultStore(tmp) as reopened:
+            assert len(reopened) == 0
+
+
 def test_region_profile_round_trip():
     profile = RegionProfile(
         app="kmeans", region="k_h", kind="internal", instance_index=0,

@@ -27,6 +27,10 @@ Two checks, both fatal on failure:
    schema/store constants ``repro.profiles`` actually exposes, the
    reuse tiers in ``REUSE_TIERS`` order, and every ``RegionProfile``
    field and outcome bucket by name.
+6. **Recovery drift check** — ``docs/recovery.md`` must document the
+   detectors/policies/final states in their canonical order, the full
+   ``RecoverySpec`` field table, and every ``RecoveryPlan`` /
+   ``RecoveryOutcome`` field by name.
 """
 
 from __future__ import annotations
@@ -104,7 +108,8 @@ def section_table(text: str, heading: str,
             continue  # separator row
         rows.append(cells)
     if rows and rows[0][0].lower() in ("constant", "op", "code", "state",
-                                       "tier"):
+                                       "tier", "detector", "policy",
+                                       "final state", "field"):
         rows = rows[1:]  # header row
     return rows
 
@@ -268,10 +273,62 @@ def check_profiles_drift() -> list:
     return errors
 
 
+def check_recovery_drift() -> list:
+    sys.path.insert(0, str(REPO / "src"))
+    import dataclasses
+
+    from repro import recovery
+    from repro.api import specs
+
+    text = (REPO / "docs" / "recovery.md").read_text(encoding="utf-8")
+    errors = []
+
+    doc_detectors = [row[0] for row in
+                     section_table(text, "Detectors",
+                                   source="docs/recovery.md")]
+    if doc_detectors != list(recovery.DETECTORS):
+        errors.append(f"recovery.md detector table {doc_detectors} != "
+                      f"recovery.DETECTORS {list(recovery.DETECTORS)}")
+
+    doc_policies = [row[0] for row in
+                    section_table(text, "Policies",
+                                  source="docs/recovery.md")]
+    if doc_policies != list(recovery.POLICIES):
+        errors.append(f"recovery.md policy table {doc_policies} != "
+                      f"recovery.POLICIES {list(recovery.POLICIES)}")
+
+    doc_finals = [row[0] for row in
+                  section_table(text, "Outcome invariance contract",
+                                source="docs/recovery.md")]
+    if doc_finals != list(recovery.FINAL_STATES):
+        errors.append(f"recovery.md final-state table {doc_finals} != "
+                      f"recovery.FINAL_STATES "
+                      f"{list(recovery.FINAL_STATES)}")
+
+    doc_spec = [row[0] for row in
+                section_table(text, "RecoverySpec schema",
+                              source="docs/recovery.md")]
+    spec_fields = [f.name for f in dataclasses.fields(specs.RecoverySpec)]
+    if doc_spec != spec_fields:
+        errors.append(f"recovery.md RecoverySpec table {doc_spec} != "
+                      f"RecoverySpec fields {spec_fields}")
+
+    # every plan knob and outcome counter must be discussed by name
+    plan_fields = [f.name for f in
+                   dataclasses.fields(recovery.RecoveryPlan)]
+    outcome_fields = [f.name for f in
+                      dataclasses.fields(recovery.RecoveryOutcome)]
+    for name in (*plan_fields, *outcome_fields):
+        if f"`{name}`" not in text:
+            errors.append(f"recovery.md: RecoveryPlan/RecoveryOutcome "
+                          f"field {name!r} undocumented")
+    return errors
+
+
 def main() -> int:
     errors = (check_links() + check_protocol_drift()
               + check_experiment_drift() + check_service_drift()
-              + check_profiles_drift())
+              + check_profiles_drift() + check_recovery_drift())
     for error in errors:
         print(f"FAIL: {error}", file=sys.stderr)
     if errors:
