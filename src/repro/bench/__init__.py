@@ -1,0 +1,10 @@
+"""Benchmark measurement cores shared by ``benchmarks/`` and CI tooling.
+
+The pytest benchmarks under ``benchmarks/`` assert qualitative floors
+(who wins, by at least how much); ``tools/bench_summary.py`` emits the
+same measurements as machine-readable JSON for CI artifacts.  Both
+call into this package so the numbers they report cannot drift apart.
+"""
+
+from repro.bench.warmstart import (late_site_plans,  # noqa: F401
+                                   measure_app, measure_warmstart)

@@ -664,6 +664,13 @@ def build_parser() -> argparse.ArgumentParser:
                         "loop, or per-function compiled Python — "
                         "byte-identical observables, compiled is "
                         "several times faster per faulty run")
+    p.add_argument("--warm-start", choices=("on", "off"), default=None,
+                   help="golden snapshot-ladder warm start (sets "
+                        "REPRO_WARMSTART; default on): faulty runs "
+                        "restore the highest ladder rung at or below "
+                        "their trigger and execute only the suffix — "
+                        "byte-identical observables, 'off' forces "
+                        "cold full-prefix re-execution")
     sub = p.add_subparsers(dest="command", required=True)
 
     sub.add_parser("apps", help="list study programs")
@@ -909,6 +916,10 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         # pool workers and spec-runner engines all inherit it (workers
         # additionally receive the resolved tier in task payloads)
         os.environ["REPRO_EXEC"] = args.exec_tier
+    if args.warm_start is not None:
+        # same cross-process channel as --exec-tier: engines, pool
+        # workers and shard servers all resolve REPRO_WARMSTART
+        os.environ["REPRO_WARMSTART"] = args.warm_start
     if args.command != "run":
         # every other command takes the engine flags directly; "run"
         # resolves them against the spec file (_apply_engine_overrides)

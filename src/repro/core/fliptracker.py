@@ -107,13 +107,18 @@ class FlipTracker:
         trace, traced analyses, campaign shards):
         ``"interp"``/``"compiled"``; ``None`` defers to ``REPRO_EXEC``.
         Byte-identical observables on either tier.
+    warm_start:
+        Golden snapshot-ladder warm start for campaign and recovery
+        runs (:mod:`repro.warmstart`): ``"on"``/``"off"`` (or a bool);
+        ``None`` defers to ``REPRO_WARMSTART`` (default on).
+        Byte-identical observables either way.
     """
 
     def __init__(self, program: Program, seed: int = 1234,
                  workers: int = 1, *, cache_dir: Optional[str] = None,
                  resume: bool = True, shard_size: int = 64,
                  backend=None, backend_addr=None, registry=None,
-                 exec_tier: Optional[str] = None):
+                 exec_tier: Optional[str] = None, warm_start=None):
         self.program = program
         self.seed = seed
         self.workers = workers
@@ -124,6 +129,7 @@ class FlipTracker:
         self.backend_addr = backend_addr
         self.registry = registry
         self.exec_tier = exec_tier
+        self.warm_start = warm_start
         self._engine: Optional[ExecutionEngine] = None
         self._ff: Optional[Trace] = None
         self._index: Optional[TraceIndex] = None
@@ -132,6 +138,7 @@ class FlipTracker:
         self._io_cache: dict[tuple[str, int], RegionIO] = {}
         self._rates: Optional[PatternRates] = None
         self._recovery_ctx = None
+        self._warm_ladder = None
 
     # ------------------------------------------------------------ engine
     @property
@@ -143,7 +150,7 @@ class FlipTracker:
                 cache_dir=self.cache_dir, resume=self.resume,
                 shard_size=self.shard_size, backend=self.backend,
                 backend_addr=self.backend_addr, registry=self.registry,
-                exec_tier=self.exec_tier)
+                exec_tier=self.exec_tier, warm_start=self.warm_start)
             self._engine.bind_tracker(self)
         return self._engine
 
@@ -234,6 +241,21 @@ class FlipTracker:
                 self.program, self.fault_free_trace().records,
                 self.trace_index(), self.instances())
         return self._recovery_ctx
+
+    def warm_ladder(self):
+        """Golden snapshot ladder for warm-started faulty runs (cached).
+
+        Like :meth:`recovery_context`, a pure function of the program:
+        rungs are snapshots of the golden execution, aligned to region
+        boundaries where possible (see :mod:`repro.warmstart`), so
+        workers and shard servers derive identical ladders
+        independently and a pre-fork build is inherited copy-on-write.
+        """
+        if self._warm_ladder is None:
+            from repro.warmstart import build_warm_ladder
+            self._warm_ladder = build_warm_ladder(
+                self.program, self.recovery_context())
+        return self._warm_ladder
 
     # ------------------------------------------------------------ main loop
     def main_loop_iterations(self) -> list[RegionInstance]:

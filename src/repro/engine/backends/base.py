@@ -101,7 +101,8 @@ class Backend:
         return [execute_plan(self.engine.program, plan, max_instr,
                              exec_tier=tier,
                              tracker_factory=self.engine
-                             ._tracker_for_analysis)
+                             ._tracker_for_analysis,
+                             warm_start=self.engine.warm_start)
                 for plan in plans]
 
     def analyze_sequential(self, plans: Sequence[FaultPlan],

@@ -158,7 +158,7 @@ class LocalPoolBackend(Backend):
             return self.run_sequential(plans, max_instr)
         chunk = max(1, -(-len(plans) // (self.engine.workers * 4)))
         tasks = [(j, max_instr, self.engine.exec_tier,
-                  plans[j:j + chunk])
+                  self.engine.warm_start, plans[j:j + chunk])
                  for j in range(0, len(plans), chunk)]
         parts: dict[int, list[str]] = {}
         it = pool.imap_unordered(worker_mod.run_plans_task, tasks)
@@ -170,7 +170,7 @@ class LocalPoolBackend(Backend):
                 continue
             parts[j] = values
         out: list[str] = []
-        for j, _mi, _tier, _chunk in tasks:
+        for j, _mi, _tier, _ws, _chunk in tasks:
             out.extend(parts[j])
         return out
 

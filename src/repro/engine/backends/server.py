@@ -18,7 +18,11 @@ any shard runs), then a loop of request/reply frames — ``run`` ->
 Analysis jobs need a :class:`~repro.core.FlipTracker` (golden trace,
 region model, pattern detectors); the server builds one lazily on the
 first ``analyze`` frame and keeps it for its lifetime, so the trace is
-warmed once no matter how many clients send analyses.  Traced runs
+warmed once no matter how many clients send analyses.  Built trackers
+are additionally memoized process-wide by program fingerprint: a
+server that stops and rejoins (registry restart, port move) adopts the
+previous incarnation's tracker — including its memoized recovery
+context and warm-start snapshot ladder — instead of recomputing.  Traced runs
 execute under a lock: they are pure-Python CPU-bound work where thread
 concurrency buys nothing, and serializing them keeps the shared
 tracker's lazy caches race-free.
@@ -49,6 +53,14 @@ from repro.engine.backends.remote import DEFAULT_PORT
 from repro.engine.keys import program_fingerprint
 
 _HEARTBEAT_INTERVAL_S = 2.0
+
+#: process-wide analysis-state cache keyed by program fingerprint: a
+#: server that stops and rejoins (registry restart, port move, test
+#: churn) reuses the previous incarnation's warmed tracker — golden
+#: trace, region model, recovery context, snapshot ladder — instead of
+#: recomputing them all from scratch
+_TRACKER_CACHE: dict = {}
+_TRACKER_CACHE_LOCK = threading.Lock()
 
 
 class ShardServer:
@@ -81,6 +93,9 @@ class ShardServer:
         self._analysis_lock = threading.Lock()
         self._inflight_lock = threading.Lock()
         self._inflight = 0
+        #: True when _analysis_tracker was satisfied from the
+        #: process-wide fingerprint cache (a rejoined server)
+        self.tracker_reused = False
         # observability for tests and ops logs
         self.connections = 0
         self.rejected = 0
@@ -191,6 +206,12 @@ class ShardServer:
         """
         with self._analysis_lock:
             if self._tracker is None:
+                with _TRACKER_CACHE_LOCK:
+                    cached = _TRACKER_CACHE.get(self.fingerprint)
+                if cached is not None:
+                    self.tracker_reused = True
+                    self._tracker = cached
+                    return self._tracker
                 from repro.core.fliptracker import FlipTracker
                 self._tracker = FlipTracker(self.program, workers=1)
                 # warm the lazy caches while we hold the lock so
@@ -198,6 +219,9 @@ class ShardServer:
                 self._tracker.fault_free_trace()
                 self._tracker.region_model()
                 self._tracker.instances()
+                with _TRACKER_CACHE_LOCK:
+                    _TRACKER_CACHE.setdefault(self.fingerprint,
+                                              self._tracker)
             return self._tracker
 
     # ------------------------------------------------------------ clients

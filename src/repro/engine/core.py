@@ -77,6 +77,14 @@ class ExecutionEngine:
         local backend's task payloads; protocol workers (async children,
         shard servers) resolve ``REPRO_EXEC`` in their own process —
         inherited from the parent for in-host backends.
+    warm_start:
+        Warm-start faulty runs from the golden snapshot ladder
+        (:mod:`repro.warmstart`); ``None`` defers to ``REPRO_WARMSTART``
+        (default on).  Byte-identical to cold starts on every
+        observable — cache keys are unchanged, so spills and stores
+        written either way stay valid.  Resolved like ``exec_tier``:
+        rides local-pool task payloads, env-resolved by protocol
+        workers and shard servers.
     """
 
     def __init__(self, program, *, workers: Optional[int] = 1,
@@ -84,10 +92,12 @@ class ExecutionEngine:
                  cache_dir: Optional[str] = None, resume: bool = True,
                  shard_size: int = 64, min_parallel: int = 4,
                  backend=None, backend_addr=None, registry=None,
-                 exec_tier: Optional[str] = None):
+                 exec_tier: Optional[str] = None,
+                 warm_start=None):
         from repro.engine.backends import (LocalPoolBackend,
                                            resolve_backend)
         from repro.vm.exec_tier import resolve_exec_tier
+        from repro.warmstart import resolve_warmstart
         if workers is None:
             workers = min(4, os.cpu_count() or 1)
         if shard_size < 1:
@@ -95,6 +105,7 @@ class ExecutionEngine:
         self.program = program
         self.workers = max(1, int(workers))
         self.exec_tier = resolve_exec_tier(exec_tier)
+        self.warm_start = resolve_warmstart(warm_start)
         self.shard_size = shard_size
         self.min_parallel = min_parallel
         self._owns_cache = cache is None
@@ -261,6 +272,10 @@ class ExecutionEngine:
             # late-started substrates derive the identical context
             # themselves (pure function of the program)
             self._tracker_for_analysis().recovery_context()
+        if self.warm_start and any(shard_plans):
+            # same pre-fork COW warming for the golden snapshot ladder:
+            # every pending run of either plan kind can draw on it
+            self._tracker_for_analysis().warm_ladder()
 
         totals = [len(plans) for _label, plans in groups]
         cached = [totals[g_i] - len(unique[g_i])
@@ -459,6 +474,7 @@ class ExecutionEngine:
         return {"workers": self.workers, "executed": self.executed,
                 "backend": self.backend.name,
                 "exec_tier": self.exec_tier,
+                "warm_start": self.warm_start,
                 "pool_starts": self.pool_starts,
                 "pool_alive": self._local.pool_alive,
                 "shard_size": self.shard_size,

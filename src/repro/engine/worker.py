@@ -60,23 +60,25 @@ def _tracker():
     return tracker
 
 
-def run_plans_task(task: tuple[int, Optional[int], str,
+def run_plans_task(task: tuple[int, Optional[int], str, object,
                                Sequence[FaultPlan]]
                    ) -> tuple[int, list[str]]:
     """Execute one chunk of untraced faulty runs -> outcome values.
 
-    The engine's resolved execution tier rides in the payload so pool
-    workers never depend on environment inheritance for an *explicit*
-    ``exec_tier=`` engine option.  Recovery plans resolve this worker's
-    tracker (fork children inherit the parent's warmed recovery context
-    via copy-on-write; spawn workers derive their own, identical one).
+    The engine's resolved execution tier and warm-start setting ride in
+    the payload so pool workers never depend on environment inheritance
+    for an *explicit* engine option.  Recovery plans resolve this
+    worker's tracker (fork children inherit the parent's warmed
+    recovery context and snapshot ladder via copy-on-write; spawn
+    workers derive their own, identical ones).
     """
     from repro.faults.campaign import execute_plan
-    index, max_instr, exec_tier, plans = task
+    index, max_instr, exec_tier, warm_start, plans = task
     program = _STATE["program"]
     return index, [execute_plan(program, plan, max_instr,
                                 exec_tier=exec_tier,
-                                tracker_factory=_tracker)
+                                tracker_factory=_tracker,
+                                warm_start=warm_start)
                    for plan in plans]
 
 

@@ -28,6 +28,7 @@ from typing import Iterable, Optional
 from repro.apps.base import Program
 from repro.vm.errors import VMError
 from repro.vm.fault import FaultPlan
+from repro.warmstart import resolve_warmstart, warm_start_interp
 
 
 class Manifestation(Enum):
@@ -138,17 +139,25 @@ class CampaignResult:
 
 def run_plan(program: Program, plan: FaultPlan,
              max_instr: Optional[int] = None,
-             exec_tier: Optional[str] = None) -> Manifestation:
+             exec_tier: Optional[str] = None,
+             ladder=None) -> Manifestation:
     """Execute one faulty run and classify its manifestation.
 
     ``exec_tier`` picks the VM tier (``None`` defers to ``REPRO_EXEC``);
     both tiers produce byte-identical manifestations, so the choice
-    never changes a campaign's result, only its wall-clock.
+    never changes a campaign's result, only its wall-clock.  ``ladder``
+    optionally warm-starts the run from the golden snapshot ladder
+    (:mod:`repro.warmstart`): the run restores the highest rung at or
+    below the trigger and executes only the suffix — byte-identical by
+    construction, falling back to a cold start on any ladder miss.
     """
     interp = program.fresh_interpreter(fault=plan, max_instr=max_instr,
                                        exec_tier=exec_tier)
     try:
-        interp.run(program.entry)
+        if ladder is not None and warm_start_interp(interp, ladder, plan):
+            interp.resume_run(program.entry)
+        else:
+            interp.run(program.entry)
     except VMError:
         return Manifestation.CRASHED
     except (TypeError, ValueError, OverflowError, MemoryError):
@@ -161,7 +170,8 @@ def run_plan(program: Program, plan: FaultPlan,
 def execute_plan(program: Program, plan,
                  max_instr: Optional[int] = None,
                  exec_tier: Optional[str] = None,
-                 tracker_factory=None) -> str:
+                 tracker_factory=None,
+                 warm_start=None) -> str:
     """Execute one plan of either kind, returning its cache/wire value.
 
     Plain :class:`~repro.vm.fault.FaultPlan` runs are classified and
@@ -172,16 +182,25 @@ def execute_plan(program: Program, plan,
     returning their per-process :class:`~repro.core.FlipTracker`; the
     returned value is the encoded
     :class:`~repro.recovery.outcome.RecoveryOutcome`.
+
+    ``warm_start`` (``None`` defers to ``REPRO_WARMSTART``, default on)
+    sources the golden snapshot ladder from the tracker: FaultPlans
+    skip their golden prefix, recovery sessions share ladder rungs as
+    checkpoints.  Executors without a ``tracker_factory`` simply run
+    cold — warm-start never changes a result, only wall-clock.
     """
+    warm = tracker_factory is not None and resolve_warmstart(warm_start)
     if isinstance(plan, FaultPlan):
+        ladder = tracker_factory().warm_ladder() if warm else None
         return run_plan(program, plan, max_instr=max_instr,
-                        exec_tier=exec_tier).value
+                        exec_tier=exec_tier, ladder=ladder).value
     if tracker_factory is None:
         raise TypeError(
             f"plan {plan!r} needs a tracker_factory-capable executor")
     from repro.recovery.run import run_recovery_plan
     return run_recovery_plan(tracker_factory(), plan,
-                             max_instr=max_instr, exec_tier=exec_tier)
+                             max_instr=max_instr, exec_tier=exec_tier,
+                             warm_start=warm)
 
 
 def run_campaign(program: Program, plans: Iterable[FaultPlan], *,

@@ -41,6 +41,7 @@ from repro.faults.campaign import Manifestation, classify_check
 from repro.recovery.outcome import RecoveryOutcome
 from repro.recovery.plan import RecoveryPlan
 from repro.vm.errors import VMError
+from repro.warmstart import resolve_warmstart
 
 #: the campaign crash surface (see faults.campaign.run_plan): VM-level
 #: faults plus Python-level errors surfaced by type-confused values
@@ -51,10 +52,11 @@ class _Session:
     """State machine for one protected faulty run."""
 
     def __init__(self, program, ctx: RecoveryContext, plan: RecoveryPlan,
-                 max_instr: int, exec_tier: Optional[str]):
+                 max_instr: int, exec_tier: Optional[str], ladder=None):
         self.program = program
         self.ctx = ctx
         self.plan = plan
+        self.ladder = ladder
         self.interp = program.fresh_interpreter(
             fault=plan.fault, max_instr=max_instr, exec_tier=exec_tier)
         self.detecting = True
@@ -151,7 +153,20 @@ class _Session:
             return
         if policy == "rollback" and i % self.plan.checkpoint_every != 0:
             return
-        snap = self.interp.snapshot()
+        snap = None
+        if self.ladder is not None and not self.interp.finished \
+                and not self.interp.fault_record.fired:
+            # the fault has not mutated state (unfired, missed, or
+            # rolled back to a pre-fault checkpoint), so the live state
+            # at this boundary is bit-identical to the golden run —
+            # a ladder rung at the same dyn index IS this checkpoint
+            # (identical words; the armed-trigger difference is
+            # overwritten by _recover's transient-disarm on restore)
+            rung = self.ladder.rung_at(self.interp.dyn_count)
+            if rung is not None:
+                snap = rung.snap
+        if snap is None:
+            snap = self.interp.snapshot()
         self.checkpoints += 1
         self.checkpoint_words += snap.words
         self.restore_point = (i, snap)
@@ -197,7 +212,8 @@ class _Session:
 
 def run_recovery_plan(tracker, plan: RecoveryPlan,
                       max_instr: Optional[int] = None,
-                      exec_tier: Optional[str] = None) -> str:
+                      exec_tier: Optional[str] = None,
+                      warm_start=None) -> str:
     """Execute one protected faulty run; returns the encoded outcome.
 
     ``tracker`` supplies the program and the memoized
@@ -205,8 +221,17 @@ def run_recovery_plan(tracker, plan: RecoveryPlan,
     program, so workers/shard servers derive identical contexts).  The
     return value is the outcome's canonical JSON string — the engine
     caches and ships it exactly like a manifestation value.
+
+    With warm-start on (``warm_start``, deferring to
+    ``REPRO_WARMSTART``), the session sources checkpoints from the
+    tracker's golden snapshot ladder whenever a boundary has a rung
+    and the live state is still golden — skipping the snapshot copy
+    without changing a single outcome byte (counters included).
     """
     ctx = tracker.recovery_context()
+    ladder = tracker.warm_ladder() if resolve_warmstart(warm_start) \
+        else None
     budget = tracker.faulty_budget if max_instr is None else max_instr
-    session = _Session(tracker.program, ctx, plan, budget, exec_tier)
+    session = _Session(tracker.program, ctx, plan, budget, exec_tier,
+                       ladder=ladder)
     return session.run().encode()

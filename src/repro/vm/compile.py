@@ -716,6 +716,40 @@ class CompiledInterpreter(Interpreter):
             raise  # pragma: no cover - replay did not reproduce the error
         return self.result
 
+    def resume_run(self, entry: Optional[str] = None, args: tuple = ()):
+        """Warm-start drive: finish an already-restored execution.
+
+        A snapshot rung may stop mid-basic-block (ladder grid points
+        are arbitrary ``run_to`` boundaries), so the trampoline first
+        single-steps through the interpreter window until the pc
+        re-aligns with a compiled segment entry — the same mechanism
+        ``run_to`` resumes use — then drives compiled bodies normally.
+        ``entry``/``args`` name the run being resumed; they are only
+        used by the cold twin-replay fallback, which re-executes the
+        whole run interpreted (valid precisely because the restored
+        prefix is byte-identical to a cold prefix).
+        """
+        compiled = None
+        if self.comm is None:
+            compiled = compile_module(self.module, self.records is not None)
+        if compiled is None:
+            return super().resume_run(entry, args)
+        self.exec_tier = "compiled"
+        fns = compiled.fns
+        try:
+            if not self.finished:
+                frame = self.frames[-1]
+                if frame.pc not in fns[frame.fn.index].entries:
+                    if self._interp_window(fns) == "done":
+                        return self.result
+                self._drive(compiled)
+        except VMError:
+            raise  # anticipated crash surface: state is interpreter-exact
+        except Exception:
+            self._replay_interpreted(entry, args)
+            raise  # pragma: no cover - replay did not reproduce the error
+        return self.result
+
     # ---------------------------------------------------------- driving
     def _drive(self, compiled: CompiledModule) -> None:
         fns = compiled.fns

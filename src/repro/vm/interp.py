@@ -172,6 +172,23 @@ class Interpreter:
             raise VMError("MPI operation blocked with no communicator peers")
         return self.result
 
+    def resume_run(self, entry: Optional[str] = None,
+                   args: tuple = ()) -> Any:
+        """Run an already-started execution to completion.
+
+        Exactly :meth:`run` minus the :meth:`start` — used by warm-start
+        to drive the suffix of a snapshot-restored execution.  ``entry``
+        and ``args`` describe the run being resumed (the compiled tier
+        needs them for its cold twin-replay fallback); the interpreter
+        itself ignores them.  Hang and crash semantics are identical to
+        a straight :meth:`run`: the hard budget is ``max_instr`` and a
+        blocked MPI op raises the same :class:`VMError`.
+        """
+        status = self._loop(None)
+        if status == "blocked":
+            raise VMError("MPI operation blocked with no communicator peers")
+        return self.result
+
     def step(self, budget: int) -> str:
         """Execute up to ``budget`` instructions.
 
@@ -194,8 +211,9 @@ class Interpreter:
         ``max_instr``); blocking MPI is a :class:`VMError` here, since
         checkpointed execution is single-process.
         """
+        step = self.step
         while not self.finished and self.dyn_count < stop_dyn:
-            status = self.step(stop_dyn - self.dyn_count)
+            status = step(stop_dyn - self.dyn_count)
             if status == "blocked":
                 raise VMError(
                     "MPI operation blocked with no communicator peers")
@@ -315,10 +333,35 @@ class Interpreter:
         ftrig = self._ftrig
         fbit = fault.bit if fault is not None else 0
         fwidth = fault.width if fault is not None else 64
+        # Per-instruction attribute/global lookups, hoisted to locals.
+        # ``frames``/``output`` are only ever mutated in place while the
+        # loop runs (rebinding happens in __init__/restore, never here),
+        # so the aliases stay valid across CALL/RET and EMIT.
+        frames = self.frames
+        push = self._push
+        out_append = self.output.append
+        flip_value = bitops.flip_value
+        wrap64 = bitops.wrap64
+        wrap32 = bitops.wrap32
+        c_div = bitops.c_div
+        c_rem = bitops.c_rem
+        ieee_div = bitops.ieee_div
+        fptosi = bitops.fptosi
+        fptrunc32 = bitops.fptrunc32
+        m_sqrt = math.sqrt
+        m_exp = math.exp
+        m_log = math.log
+        m_sin = math.sin
+        m_cos = math.cos
+        m_floor = math.floor
+        m_pow = math.pow
+        isfinite = math.isfinite
+        NAN = math.nan
+        INF = math.inf
 
         try:
-            while self.frames:
-                frame = self.frames[-1]
+            while frames:
+                frame = frames[-1]
                 code = frame.fn.code
                 regs = frame.regs
                 rbase = frame.rbase
@@ -377,7 +420,7 @@ class Interpreter:
                             raise MemoryFault(v0, "load out of segment")
                         if flipnow:
                             old = res
-                            res = bitops.flip_value(res, fbit, fwidth)
+                            res = flip_value(res, fbit, fwidth)
                             self.dyn_count = dyn
                             self._record_result_fault(rbase - dest, old, res)
                         regs[dest] = res
@@ -392,7 +435,7 @@ class Interpreter:
                     if op == 35:  # STORE: mem[v0] <- v1
                         if flipnow:
                             old = v1
-                            v1 = bitops.flip_value(v1, fbit, fwidth)
+                            v1 = flip_value(v1, fbit, fwidth)
                             self.dyn_count = dyn
                             self._record_result_fault(
                                 v0 if v0.__class__ is int else -1, old, v1)
@@ -440,30 +483,30 @@ class Interpreter:
                     elif op == 0:  # ADD
                         res = v0 + v1
                         if res > 9223372036854775807 or res < -9223372036854775808:
-                            res = bitops.wrap64(res)
+                            res = wrap64(res)
                     elif op == 1:  # SUB
                         res = v0 - v1
                         if res > 9223372036854775807 or res < -9223372036854775808:
-                            res = bitops.wrap64(res)
+                            res = wrap64(res)
                     elif op == 2:  # MUL
                         res = v0 * v1
                         if res > 9223372036854775807 or res < -9223372036854775808:
-                            res = bitops.wrap64(res)
+                            res = wrap64(res)
                     elif op == 8:  # FDIV
                         if v1 == 0.0:
-                            res = bitops.ieee_div(v0, v1)
+                            res = ieee_div(v0, v1)
                         else:
                             res = v0 / v1
                     elif op == 3:  # SDIV
                         if v1 == 0:
                             self.dyn_count = dyn
                             raise ComputeTrap("integer division by zero")
-                        res = bitops.c_div(v0, v1)
+                        res = c_div(v0, v1)
                     elif op == 4:  # SREM
                         if v1 == 0:
                             self.dyn_count = dyn
                             raise ComputeTrap("integer remainder by zero")
-                        res = bitops.c_rem(v0, v1)
+                        res = c_rem(v0, v1)
 
                     # ---------------- comparisons ----------------
                     elif op == 15 or op == 21:  # ICMP_EQ / FCMP_EQ
@@ -484,7 +527,7 @@ class Interpreter:
                         if v1.__class__ is not int or v1 < 0:
                             self.dyn_count = dyn
                             raise ComputeTrap(f"shift by {v1!r}")
-                        res = 0 if v1 >= 64 else bitops.wrap64(v0 << v1)
+                        res = 0 if v1 >= 64 else wrap64(v0 << v1)
                     elif op == 10:  # LSHR
                         if v1.__class__ is not int or v1 < 0:
                             self.dyn_count = dyn
@@ -506,7 +549,7 @@ class Interpreter:
                     elif op == 54:  # MOV
                         res = v0
                     elif op == 27:  # NEG
-                        res = bitops.wrap64(-v0)
+                        res = wrap64(-v0)
                     elif op == 28:  # FNEG
                         res = -v0
                     elif op == 29:  # NOT
@@ -514,40 +557,40 @@ class Interpreter:
                     elif op == 30:  # SITOFP
                         res = float(v0)
                     elif op == 31:  # FPTOSI
-                        res = bitops.fptosi(v0)
+                        res = fptosi(v0)
                     elif op == 32:  # TRUNC32
-                        res = bitops.wrap32(v0)
+                        res = wrap32(v0)
                     elif op == 33:  # FPTRUNC32
-                        res = bitops.fptrunc32(v0)
+                        res = fptrunc32(v0)
 
                     # ---------------- math intrinsics ----------------
                     elif op == 41:  # SQRT
-                        res = math.sqrt(v0) if v0 >= 0 else math.nan
+                        res = m_sqrt(v0) if v0 >= 0 else NAN
                     elif op == 42:  # FABS
                         res = abs(v0)
                     elif op == 43:  # EXP
                         try:
-                            res = math.exp(v0)
+                            res = m_exp(v0)
                         except OverflowError:
-                            res = math.inf
+                            res = INF
                     elif op == 44:  # LOG
                         if v0 > 0:
-                            res = math.log(v0)
+                            res = m_log(v0)
                         elif v0 == 0:
-                            res = -math.inf
+                            res = -INF
                         else:
-                            res = math.nan
+                            res = NAN
                     elif op == 45:  # SIN
-                        res = math.sin(v0) if math.isfinite(v0) else math.nan
+                        res = m_sin(v0) if isfinite(v0) else NAN
                     elif op == 46:  # COS
-                        res = math.cos(v0) if math.isfinite(v0) else math.nan
+                        res = m_cos(v0) if isfinite(v0) else NAN
                     elif op == 47:  # FLOOR
-                        res = math.floor(v0) if math.isfinite(v0) else v0
+                        res = m_floor(v0) if isfinite(v0) else v0
                     elif op == 48:  # POW
                         try:
-                            res = math.pow(v0, v1)
+                            res = m_pow(v0, v1)
                         except (OverflowError, ValueError):
-                            res = math.nan if v0 < 0 else math.inf
+                            res = NAN if v0 < 0 else INF
                     elif op == 49:  # FMIN
                         res = v0 if v0 < v1 else v1
                     elif op == 50:  # FMAX
@@ -557,7 +600,7 @@ class Interpreter:
                     elif op == 52:  # IMAX
                         res = v0 if v0 > v1 else v1
                     elif op == 53:  # IABS
-                        res = bitops.wrap64(abs(v0))
+                        res = wrap64(abs(v0))
 
                     # ---------------- frame ops ----------------
                     elif op == 39:  # CALL
@@ -573,7 +616,7 @@ class Interpreter:
                         dyn += 1
                         frame.pc = pc + 1
                         self.sp = sp
-                        new = self._push(callee, args, dest)
+                        new = push(callee, args, dest)
                         if recs is not None:
                             slocs = tuple(None if c else rbase - p
                                           for (c, p) in srcs)
@@ -585,12 +628,12 @@ class Interpreter:
                     elif op == 40:  # RET
                         retval = v0 if n else None
                         dyn += 1
-                        dead = self.frames.pop()
+                        dead = frames.pop()
                         stack_lo, stack_hi = dead.stack_mark, sp
                         sp = dead.stack_mark
                         self.sp = sp
-                        if self.frames:
-                            caller = self.frames[-1]
+                        if frames:
+                            caller = frames[-1]
                             dloc = None
                             if dead.ret_slot is not None:
                                 caller.regs[dead.ret_slot] = retval
@@ -644,7 +687,7 @@ class Interpreter:
                             text = aux % vals2 if vals2 else aux
                         except (OverflowError, ValueError, TypeError):
                             text = f"<fmt-error {vals2!r}>"
-                        self.output.append(text)
+                        out_append(text)
                         dyn += 1
                         if recs is not None:
                             slocs = tuple(None if c else rbase - p
@@ -734,7 +777,7 @@ class Interpreter:
                     # ---------- common commit for register-def ops ----------
                     if flipnow and dest is not None:
                         old = res
-                        res = bitops.flip_value(res, fbit, fwidth)
+                        res = flip_value(res, fbit, fwidth)
                         self.dyn_count = dyn
                         self._record_result_fault(rbase - dest, old, res)
                     regs[dest] = res

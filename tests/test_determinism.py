@@ -420,3 +420,80 @@ class TestRecoveryExecTierParity:
             result = run_recovery_group(ft)
             assert ft.engine.stats()["exec_tier"] == "compiled"
         assert recovery_bytes(result) == baseline
+
+
+# --------------------------------------------------------------- warm-start
+#: per-app explicitly-cold baseline for the warm-start parity class:
+#: {app: (region, outcome_bytes)}.  Pinned to ``warm_start="off"`` so
+#: the comparison stays warm-vs-cold even when the CI matrix sets
+#: ``REPRO_WARMSTART=on`` for the whole process.
+_WARM_BASELINE: dict = {}
+
+
+def cold_baseline(app):
+    if app not in _WARM_BASELINE:
+        with FlipTracker(REGISTRY.build(app), seed=SEED, workers=1,
+                         warm_start="off") as ft:
+            region = first_loop_region(ft)
+            result = ft.region_campaign(region, "internal", n=N)
+            _WARM_BASELINE[app] = (region, outcome_bytes(result))
+    return _WARM_BASELINE[app]
+
+
+@pytest.mark.parametrize("app", APPS)
+class TestWarmStartParity:
+    """The snapshot-ladder warm start is byte-identical to cold
+    full-prefix re-execution through the whole engine stack (the
+    ``warm_start`` / ``REPRO_WARMSTART`` axis): same campaign
+    outcomes, and a spill written under one setting resumes under the
+    other with zero new faulty runs — plan keys are warm-start
+    independent precisely because the settings are observably
+    identical."""
+
+    def test_campaign_matches_cold(self, app):
+        region, baseline = cold_baseline(app)
+        with FlipTracker(REGISTRY.build(app), seed=SEED, workers=2,
+                         shard_size=2, warm_start="on") as ft:
+            result = ft.region_campaign(region, "internal", n=N)
+            assert ft.engine.stats()["warm_start"] is True
+        assert outcome_bytes(result) == baseline
+
+    def test_compiled_warm_matches_cold(self, app):
+        region, baseline = cold_baseline(app)
+        with FlipTracker(REGISTRY.build(app), seed=SEED, workers=2,
+                         shard_size=2, exec_tier="compiled",
+                         warm_start="on") as ft:
+            result = ft.region_campaign(region, "internal", n=N)
+        assert outcome_bytes(result) == baseline
+
+    def test_warm_cache_resumes_cold(self, app, tmp_path):
+        cache_dir = str(tmp_path / app)
+        region, baseline = cold_baseline(app)
+        with FlipTracker(REGISTRY.build(app), seed=SEED, workers=1,
+                         cache_dir=cache_dir, warm_start="on") as fresh:
+            r_fresh = fresh.region_campaign(region, "internal", n=N)
+        with FlipTracker(REGISTRY.build(app), seed=SEED, workers=1,
+                         cache_dir=cache_dir, warm_start="off") as resumed:
+            r_resumed = resumed.region_campaign(region, "internal", n=N)
+        assert outcome_bytes(r_fresh) == baseline
+        assert outcome_bytes(r_resumed) == baseline
+        assert r_fresh.executed > 0
+        assert r_resumed.executed == 0  # zero new faulty runs
+        assert r_resumed.cached == N
+
+
+class TestRecoveryWarmStartParity:
+    """Rung-sourced periodic checkpoints never change a recovery
+    outcome byte — counters (checkpoint_words, re_executed) included,
+    because a ladder rung at a boundary carries the identical golden
+    state a fresh snapshot would copy."""
+
+    @pytest.mark.parametrize("app", APPS)
+    def test_recovery_matches_cold(self, app):
+        with FlipTracker(REGISTRY.build(app), seed=SEED, workers=1,
+                         warm_start="off") as cold:
+            baseline = recovery_bytes(run_recovery_group(cold))
+        with FlipTracker(REGISTRY.build(app), seed=SEED, workers=2,
+                         shard_size=2, warm_start="on") as warm:
+            result = run_recovery_group(warm)
+        assert recovery_bytes(result) == baseline

@@ -51,8 +51,10 @@ def assert_tier_parity(module, *, trace=False, fault=None,
     assert b.dyn_count == a.dyn_count
     assert b.output == a.output
     assert b.sp == a.sp
-    assert b.mem == a.mem
-    assert b.fault_record == a.fault_record
+    # repr-compare: a flipped float can be nan, and two runs produce
+    # distinct nan objects that list equality rejects (nan != nan)
+    assert repr(b.mem) == repr(a.mem)
+    assert repr(b.fault_record) == repr(a.fault_record)
     if trace:
         assert repr(b.records) == repr(a.records)
     return a, b

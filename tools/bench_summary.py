@@ -1,0 +1,82 @@
+#!/usr/bin/env python
+"""Emit benchmark measurements as machine-readable JSON (CI artifacts).
+
+Runs the shared measurement cores in :mod:`repro.bench` outside
+pytest and writes one ``BENCH_<name>.json`` per benchmark, so CI can
+upload throughput numbers as artifacts and downstream tooling can
+diff them across commits without scraping test output.
+
+Usage::
+
+    PYTHONPATH=src python tools/bench_summary.py [--out DIR]
+        [--count N] [--apps kmeans,cg] [--bench warmstart]
+
+Exit status is non-zero when a benchmark's floor is violated (same
+floors the pytest benchmarks assert), so the CI job that produces the
+artifact also gates on it.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import sys
+
+#: benchmark name -> (measure kwargs builder, floor checker)
+WARMSTART_FLOOR = 1.5
+
+
+def run_warmstart(apps: tuple, count: int) -> tuple[dict, list[str]]:
+    from repro.bench.warmstart import measure_warmstart
+    report = measure_warmstart(apps=apps, count=count)
+    report["speedup_floor"] = WARMSTART_FLOOR
+    problems = []
+    if not report["all_values_match"]:
+        problems.append("warmstart: warm and cold manifestations differ")
+    for app, r in report["apps"].items():
+        if r["hits"] == 0:
+            problems.append(f"warmstart/{app}: no rung ever engaged")
+        if r["speedup"] < WARMSTART_FLOOR:
+            problems.append(f"warmstart/{app}: {r['speedup']:.2f}x "
+                            f"< {WARMSTART_FLOOR}x floor")
+    return report, problems
+
+
+BENCHES = {"warmstart": run_warmstart}
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--out", default=".", metavar="DIR",
+                        help="directory for BENCH_<name>.json files")
+    parser.add_argument("--count", type=int, default=30,
+                        help="faulty runs per app per arm (default 30)")
+    parser.add_argument("--apps", default="kmeans,cg",
+                        help="comma-separated app list")
+    parser.add_argument("--bench", default="all",
+                        choices=("all", *BENCHES),
+                        help="which benchmark to run")
+    args = parser.parse_args(argv)
+
+    apps = tuple(a.strip() for a in args.apps.split(",") if a.strip())
+    names = list(BENCHES) if args.bench == "all" else [args.bench]
+    os.makedirs(args.out, exist_ok=True)
+    failures: list[str] = []
+    for name in names:
+        report, problems = BENCHES[name](apps, args.count)
+        path = os.path.join(args.out, f"BENCH_{name}.json")
+        with open(path, "w") as fh:
+            json.dump(report, fh, indent=2, sort_keys=True)
+            fh.write("\n")
+        summary = " ".join(f"{app}={r['speedup']:.2f}x"
+                           for app, r in report["apps"].items())
+        print(f"{path}: {summary}")
+        failures.extend(problems)
+    for problem in failures:
+        print(f"FLOOR VIOLATION: {problem}", file=sys.stderr)
+    return 1 if failures else 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

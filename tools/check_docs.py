@@ -31,10 +31,16 @@ Two checks, both fatal on failure:
    detectors/policies/final states in their canonical order, the full
    ``RecoverySpec`` field table, and every ``RecoveryPlan`` /
    ``RecoveryOutcome`` field by name.
+7. **Warm-start drift check** — the "Warm-start execution" section of
+   ``docs/architecture.md`` must name ``REPRO_WARMSTART``, both modes
+   and the ladder constants ``repro.warmstart`` actually exposes, and
+   README's "Global flags" table must carry ``--warm-start`` /
+   ``--exec-tier`` rows agreeing with the resolved defaults.
 """
 
 from __future__ import annotations
 
+import os
 import re
 import sys
 from pathlib import Path
@@ -109,7 +115,7 @@ def section_table(text: str, heading: str,
         rows.append(cells)
     if rows and rows[0][0].lower() in ("constant", "op", "code", "state",
                                        "tier", "detector", "policy",
-                                       "final state", "field"):
+                                       "final state", "field", "flag"):
         rows = rows[1:]  # header row
     return rows
 
@@ -325,10 +331,62 @@ def check_recovery_drift() -> list:
     return errors
 
 
+def section_text(text: str, heading: str, source: str) -> str:
+    """The body of the ``##`` section titled ``heading``."""
+    pattern = re.compile(rf"^##\s+{re.escape(heading)}\s*$", re.MULTILINE)
+    match = pattern.search(text)
+    if match is None:
+        raise SystemExit(f"{source}: section {heading!r} not found")
+    end = text.find("\n## ", match.end())
+    return text[match.end():end if end != -1 else len(text)]
+
+
+def check_warmstart_drift() -> list:
+    sys.path.insert(0, str(REPO / "src"))
+    from repro import warmstart
+
+    errors = []
+    arch = (REPO / "docs" / "architecture.md").read_text(encoding="utf-8")
+    section = section_text(arch, "Warm-start execution",
+                           "docs/architecture.md")
+    required = (warmstart.ENV_VAR, *warmstart.WARMSTART_MODES,
+                "DEFAULT_RUNGS", "MIN_STRIDE", "rung_for", "resume_run",
+                "WARM_STATS", "--warm-start")
+    for name in required:
+        if f"`{name}`" not in section:
+            errors.append(f"architecture.md Warm-start execution: "
+                          f"{name!r} undocumented")
+
+    readme = (REPO / "README.md").read_text(encoding="utf-8")
+    rows = section_table(readme, "Global flags", source="README.md")
+    flags = {row[0].split()[0]: row for row in rows if row}
+    expected = {"--warm-start": (warmstart.ENV_VAR, "on"),
+                "--exec-tier": ("REPRO_EXEC", "interp")}
+    for flag, (env, default) in expected.items():
+        row = flags.get(flag)
+        if row is None:
+            errors.append(f"README.md Global flags: {flag} row missing")
+            continue
+        if len(row) < 3 or row[1] != env or row[2] != default:
+            errors.append(f"README.md Global flags: {flag} row must "
+                          f"document env {env!r} and default {default!r}")
+    # the documented default must be what the resolver actually does
+    had = os.environ.pop(warmstart.ENV_VAR, None)
+    try:
+        if not warmstart.resolve_warmstart():
+            errors.append("warmstart: resolve_warmstart() default is off "
+                          "but README documents on")
+    finally:
+        if had is not None:
+            os.environ[warmstart.ENV_VAR] = had
+    return errors
+
+
 def main() -> int:
     errors = (check_links() + check_protocol_drift()
               + check_experiment_drift() + check_service_drift()
-              + check_profiles_drift() + check_recovery_drift())
+              + check_profiles_drift() + check_recovery_drift()
+              + check_warmstart_drift())
     for error in errors:
         print(f"FAIL: {error}", file=sys.stderr)
     if errors:
